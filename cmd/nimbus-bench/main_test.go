@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runExp(t *testing.T, exp string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	// Tiny settings keep every experiment fast in tests.
+	if err := run(&buf, exp, 2e-4, 30, 6, 20, 7); err != nil {
+		t.Fatalf("%s: %v", exp, err)
+	}
+	return buf.String()
+}
+
+func TestRunTable3(t *testing.T) {
+	out := runExp(t, "table3")
+	for _, want := range []string{"Table 3", "Simulated1", "SUSY"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	out := runExp(t, "fig5")
+	for _, want := range []string{"HAS ARBITRAGE", "optimal(MILP)", "approx(MBP)", "revenue=200.00", "revenue=193.75"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	out := runExp(t, "fig6")
+	for _, want := range []string{"Figure 6", "zero-one", "logistic", "squared"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRevenueFigures(t *testing.T) {
+	for _, exp := range []string{"fig7", "fig8"} {
+		out := runExp(t, exp)
+		for _, want := range []string{"MBP", "Lin", "MaxC", "MedC", "OptC", "gain"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s missing %q in:\n%s", exp, want, out)
+			}
+		}
+	}
+}
+
+func TestRunRuntimeFigures(t *testing.T) {
+	// Only the fastest runtime figure in unit tests; the rest share the
+	// same code path.
+	out := runExp(t, "fig9")
+	for _, want := range []string{"MILP", "MBP", "runtime"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	for exp, want := range map[string]string{
+		"relaxation":   "ratio",
+		"errorinverse": "max-rel-diff",
+		"trainers":     "gradient-descent",
+		"population":   "realized",
+		"frontier":     "min-affordability",
+		"attack":       "max profit",
+		"mechanisms":   "spread",
+		"abtest":       "ratio",
+		"menus":        "retention",
+	} {
+		out := runExp(t, exp)
+		if !strings.Contains(out, want) {
+			t.Fatalf("%s missing %q in:\n%s", exp, want, out)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig99", 1e-3, 10, 5, 10, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	for exp, header := range map[string]string{
+		"table3": "dataset,task,n1,n2,d",
+		"fig5":   "method,quality,price,revenue,arbitrage_free",
+		"fig7":   "value_curve,demand_curve,method,revenue,affordability,seconds",
+		"fig9":   "n,method,seconds,revenue,affordability",
+	} {
+		var buf bytes.Buffer
+		if err := runFmt(&buf, exp, 2e-4, 30, 6, 20, 7, "csv"); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.HasPrefix(buf.String(), header) {
+			t.Fatalf("%s: CSV header missing, got:\n%s", exp, buf.String()[:min(120, buf.Len())])
+		}
+	}
+	var buf bytes.Buffer
+	if err := runFmt(&buf, "table3", 1e-3, 10, 5, 10, 1, "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunPlotFormat(t *testing.T) {
+	for exp, want := range map[string]string{
+		"fig6": "expected error",
+		"fig7": "buyer value",
+		"fig9": "log scale",
+	} {
+		var buf bytes.Buffer
+		if err := runFmt(&buf, exp, 1e-3, 60, 6, 20, 7, "plot"); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, want) || !strings.Contains(out, "|") {
+			t.Fatalf("%s: not a chart:\n%s", exp, out)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command nimbus-cli is the buyer's terminal client for a running nimbusd
+// broker.
+//
+//	nimbus-cli -addr http://localhost:8080 menu
+//	nimbus-cli curve -offering Simulated1/linear-regression -loss squared
+//	nimbus-cli buy -offering Simulated1/linear-regression -loss squared -option price-budget -value 25
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nimbus/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "broker base URL")
+	flag.Parse()
+	if err := run(*addr, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "nimbus-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: nimbus-cli [-addr URL] <menu|curve|buy|stats> [flags]")
+	}
+	client := server.NewClient(addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	switch cmd := args[0]; cmd {
+	case "stats":
+		stats, err := client.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("offerings: %d\nsales:     %d\nrevenue:   %.2f\nfees:      %.2f\n",
+			stats.Offerings, stats.Sales, stats.TotalRevenue, stats.BrokerFees)
+		return nil
+
+	case "statement":
+		st, err := client.Statement(ctx)
+		if err != nil {
+			return err
+		}
+		return st.Write(os.Stdout)
+
+	case "menu":
+		menu, err := client.Menu(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-35s %-22s %-8s %-8s %-4s %s\n", "OFFERING", "MODEL", "TRAIN", "TEST", "D", "LOSSES")
+		for _, o := range menu.Offerings {
+			fmt.Printf("%-35s %-22s %-8d %-8d %-4d %v\n", o.Name, o.Model, o.TrainRows, o.TestRows, o.Features, o.Losses)
+		}
+		return nil
+
+	case "curve":
+		fs := flag.NewFlagSet("curve", flag.ContinueOnError)
+		offering := fs.String("offering", "", "offering name (required)")
+		loss := fs.String("loss", "", "reporting loss (required)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *offering == "" || *loss == "" {
+			return fmt.Errorf("curve: -offering and -loss are required")
+		}
+		curve, err := client.Curve(ctx, *offering, *loss)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("price-error curve for %s (%s)\n%10s %14s %12s\n", curve.Offering, curve.Loss, "1/NCP", "exp. error", "price")
+		for _, p := range curve.Points {
+			fmt.Printf("%10.2f %14.6f %12.4f\n", p.X, p.Error, p.Price)
+		}
+		return nil
+
+	case "buy":
+		fs := flag.NewFlagSet("buy", flag.ContinueOnError)
+		offering := fs.String("offering", "", "offering name (required)")
+		loss := fs.String("loss", "", "reporting loss (required)")
+		option := fs.String("option", "price-budget", "quality, error-budget or price-budget")
+		value := fs.Float64("value", 0, "quality / error budget / price budget")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *offering == "" || *loss == "" {
+			return fmt.Errorf("buy: -offering and -loss are required")
+		}
+		p, err := client.Buy(ctx, server.BuyRequest{
+			Offering: *offering, Loss: *loss, Option: *option, Value: *value,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("purchased %s (%s)\n  quality 1/NCP : %.4f\n  NCP δ         : %.6f\n  price         : %.4f\n  expected error: %.6f\n  weights (%d)  : %.4f...\n",
+			p.Offering, p.Loss, p.X, p.NCP, p.Price, p.ExpectedError, len(p.Weights), p.Weights[0])
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q (want menu, curve, buy or stats)", cmd)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/market"
+	"nimbus/internal/ml"
+	"nimbus/internal/pricing"
+	"nimbus/internal/rng"
+	"nimbus/internal/server"
+)
+
+func startBroker(t *testing.T) (string, string) {
+	t.Helper()
+	d, err := dataset.StandIn("CASP", dataset.GenConfig{Rows: 200, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := dataset.NewPair(d, rng.New(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seller, err := market.NewSeller(pair, market.Research{
+		Value:  func(e float64) float64 { return 60 / (1 + e) },
+		Demand: func(e float64) float64 { return 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker := market.NewBroker(73)
+	o, err := broker.List(market.OfferingConfig{
+		Seller: seller, Model: ml.LinearRegression{Ridge: 1e-3},
+		Grid: pricing.DefaultGrid(8), Samples: 30, Seed: 74,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.New(broker, server.WithLogger(func(string, ...any) {})))
+	t.Cleanup(srv.Close)
+	return srv.URL, o.Name
+}
+
+func TestCLICommands(t *testing.T) {
+	addr, offering := startBroker(t)
+
+	if err := run(addr, []string{"menu"}); err != nil {
+		t.Fatalf("menu: %v", err)
+	}
+	if err := run(addr, []string{"stats"}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if err := run(addr, []string{"statement"}); err != nil {
+		t.Fatalf("statement: %v", err)
+	}
+	if err := run(addr, []string{"curve", "-offering", offering, "-loss", "squared"}); err != nil {
+		t.Fatalf("curve: %v", err)
+	}
+	if err := run(addr, []string{"buy", "-offering", offering, "-loss", "squared", "-option", "quality", "-value", "3"}); err != nil {
+		t.Fatalf("buy: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	addr, offering := startBroker(t)
+	cases := [][]string{
+		{},                               // no command
+		{"teleport"},                     // unknown command
+		{"curve"},                        // missing flags
+		{"curve", "-offering", offering}, // missing loss
+		{"buy"},                          // missing flags
+		{"buy", "-offering", offering, "-loss", "squared", "-option", "error-budget", "-value", "0"}, // unattainable
+		{"buy", "-offering", "ghost", "-loss", "squared", "-option", "quality", "-value", "1"},       // 404
+	}
+	for i, args := range cases {
+		if err := run(addr, args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Command nimbus-datagen materializes the paper's evaluation datasets
+// (Table 3) as CSV files, for inspection or for use by external tools. Each
+// dataset is written as <name>.train.csv and <name>.test.csv with a header
+// row and a trailing "target" column.
+//
+//	nimbus-datagen -out ./data -scale 0.001 -seed 42
+//	nimbus-datagen -out ./data -only Simulated1,CASP
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nimbus/internal/dataset"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", ".", "output directory (created if missing)")
+		scale    = flag.Float64("scale", 1e-3, "Table 3 row-count scale (1.0 = paper size)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		only     = flag.String("only", "", "comma-separated dataset names to emit (default: all six)")
+		stream   = flag.Bool("stream", false, "write row-by-row with O(d) memory (use for -scale near 1.0); train and test come from independent streams")
+		describe = flag.Bool("describe", false, "also print per-column statistics for each written dataset")
+	)
+	flag.Parse()
+	var err error
+	if *stream {
+		err = runStream(*out, *scale, *seed, *only)
+	} else {
+		err = run(*out, *scale, *seed, *only, *describe)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nimbus-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+// runStream writes each dataset with the O(d)-memory streaming generator.
+// The train and test files use independent seeds (a streamed generator
+// cannot shuffle), which preserves the IID train/test semantics.
+func runStream(outDir string, scale float64, seed int64, only string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", outDir, err)
+	}
+	keep := map[string]bool{}
+	if only != "" {
+		for _, name := range strings.Split(only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+	}
+	wrote := 0
+	for _, name := range []string{"Simulated1", "YearMSD", "CASP", "Simulated2", "CovType", "SUSY"} {
+		if len(keep) > 0 && !keep[name] {
+			continue
+		}
+		total := dataset.Table3Rows(name, scale)
+		train := total * 3 / 4
+		for i, part := range []struct {
+			suffix string
+			rows   int
+		}{{"train", train}, {"test", total - train}} {
+			path := filepath.Join(outDir, fmt.Sprintf("%s.%s.csv", name, part.suffix))
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("creating %s: %w", path, err)
+			}
+			if err := dataset.StreamCSV(f, name, part.rows, seed+int64(i)); err != nil {
+				f.Close()
+				return fmt.Errorf("streaming %s: %w", path, err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("closing %s: %w", path, err)
+			}
+			fmt.Printf("wrote %s (%d rows, streamed)\n", path, part.rows)
+			wrote++
+		}
+	}
+	if wrote == 0 {
+		return fmt.Errorf("no datasets matched %q", only)
+	}
+	return nil
+}
+
+func run(outDir string, scale float64, seed int64, only string, describe bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", outDir, err)
+	}
+	keep := map[string]bool{}
+	if only != "" {
+		for _, name := range strings.Split(only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+	}
+	pairs, err := dataset.Suite(scale, seed)
+	if err != nil {
+		return err
+	}
+	wrote := 0
+	for _, pair := range pairs {
+		if len(keep) > 0 && !keep[pair.Name] {
+			continue
+		}
+		for suffix, ds := range map[string]*dataset.Dataset{"train": pair.Train, "test": pair.Test} {
+			path := filepath.Join(outDir, fmt.Sprintf("%s.%s.csv", pair.Name, suffix))
+			if err := writeCSV(path, ds); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d rows, %d features)\n", path, ds.N(), ds.D())
+			if describe {
+				summary, err := ds.Describe()
+				if err != nil {
+					return err
+				}
+				if err := summary.Write(os.Stdout); err != nil {
+					return err
+				}
+			}
+			wrote++
+		}
+	}
+	if wrote == 0 {
+		return fmt.Errorf("no datasets matched %q", only)
+	}
+	return nil
+}
+
+func writeCSV(path string, ds *dataset.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	if err := ds.WriteCSV(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nimbus/internal/dataset"
+)
+
+func TestRunWritesAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1e-9, 7, "", false); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 12 { // 6 datasets × train/test
+		t.Fatalf("wrote %d files", len(entries))
+	}
+	// Round-trip one file through the library loader.
+	f, err := os.Open(filepath.Join(dir, "CASP.train.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataset.ReadCSV(f, "CASP", dataset.Regression, "target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.D() != 9 || ds.N() == 0 {
+		t.Fatalf("reloaded shape %dx%d", ds.N(), ds.D())
+	}
+}
+
+func TestRunOnlyFilter(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1e-9, 7, "Simulated1, CASP", true); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("wrote %d files", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "Simulated1.") && !strings.HasPrefix(e.Name(), "CASP.") {
+			t.Fatalf("unexpected file %s", e.Name())
+		}
+	}
+}
+
+func TestRunUnknownFilter(t *testing.T) {
+	if err := run(t.TempDir(), 1e-9, 7, "Nothing", false); err == nil {
+		t.Fatal("unknown dataset filter accepted")
+	}
+	if err := runStream(t.TempDir(), 1e-9, 7, "Nothing"); err == nil {
+		t.Fatal("unknown stream filter accepted")
+	}
+}
+
+func TestRunStream(t *testing.T) {
+	dir := t.TempDir()
+	if err := runStream(dir, 1e-9, 7, "SUSY"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "SUSY.train.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataset.ReadCSV(f, "SUSY", dataset.Classification, "target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.D() != 18 || ds.N() != 48 { // 64 rows × 3/4
+		t.Fatalf("streamed shape %dx%d", ds.N(), ds.D())
+	}
+}

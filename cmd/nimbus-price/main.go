@@ -1,0 +1,208 @@
+// Command nimbus-price is the seller's price-setting workbench: given
+// desired price points (quality,price pairs), it checks whether they are
+// exactly interpolable without arbitrage (the coNP-hard SUBADDITIVE
+// INTERPOLATION decision), locates the worst arbitrage hole, and computes
+// the closest arbitrage-free curves under the L1 and L2 objectives; given
+// buyer valuations (quality,value,mass triples), it runs the revenue
+// optimizer and prints the resulting price curve.
+//
+//	nimbus-price interpolate -points "1=10,2=25,4=38"
+//	nimbus-price revenue -points "1=100:0.25,2=150:0.25,3=280:0.25,4=350:0.25"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"nimbus/internal/opt"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nimbus-price:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: nimbus-price <interpolate|revenue> -points ...")
+	}
+	switch cmd := args[0]; cmd {
+	case "interpolate":
+		fs := flag.NewFlagSet("interpolate", flag.ContinueOnError)
+		raw := fs.String("points", "", `desired prices as "x=price,x=price,..."`)
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		targets, err := parseTargets(*raw)
+		if err != nil {
+			return err
+		}
+		return interpolate(w, targets)
+	case "revenue":
+		fs := flag.NewFlagSet("revenue", flag.ContinueOnError)
+		raw := fs.String("points", "", `buyer points as "x=value:mass,..."`)
+		alpha := fs.Float64("min-affordability", 0, "optional affordability floor in [0,1]")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		points, err := parseBuyerPoints(*raw)
+		if err != nil {
+			return err
+		}
+		return revenue(w, points, *alpha)
+	case "compress":
+		fs := flag.NewFlagSet("compress", flag.ContinueOnError)
+		raw := fs.String("points", "", `buyer points as "x=value:mass,..."`)
+		k := fs.Int("k", 3, "menu size")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		points, err := parseBuyerPoints(*raw)
+		if err != nil {
+			return err
+		}
+		return compress(w, points, *k)
+	default:
+		return fmt.Errorf("unknown command %q (want interpolate, revenue or compress)", cmd)
+	}
+}
+
+func interpolate(w io.Writer, targets []opt.PricePoint) error {
+	feasible, err := opt.SubadditiveInterpolationFeasible(targets)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "exactly interpolable without arbitrage: %v\n", feasible)
+	if !feasible {
+		gap, idx, err := opt.MaxInterpolationViolation(targets)
+		if err == nil && idx >= 0 {
+			fmt.Fprintf(w, "worst arbitrage hole: quality %.4g is overpriced by %.4g (combinations undercut it)\n",
+				targets[idx].X, gap)
+		}
+	}
+	l2, err := opt.InterpolateL2(targets)
+	if err != nil {
+		return err
+	}
+	l1, err := opt.InterpolateL1(targets)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%10s %12s %14s %14s\n", "quality", "desired", "closest (L2)", "closest (L1)")
+	for _, t := range targets {
+		fmt.Fprintf(w, "%10.4g %12.4f %14.4f %14.4f\n", t.X, t.Target, l2.Price(t.X), l1.Price(t.X))
+	}
+	fmt.Fprintf(w, "objective: L2 residual %.4f, L1 residual %.4f\n",
+		opt.L2Objective(targets, l2.Price), opt.L1Objective(targets, l1.Price))
+	return nil
+}
+
+func revenue(w io.Writer, points []opt.BuyerPoint, alpha float64) error {
+	prob, err := opt.NewProblem(opt.Monotonize(points))
+	if err != nil {
+		return err
+	}
+	f, rev, err := opt.MaximizeRevenueDP(prob)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "revenue-optimal arbitrage-free prices (expected revenue %.4f, affordability %.4f):\n",
+		rev, prob.Affordability(f.Price))
+	for _, p := range f.Points() {
+		fmt.Fprintf(w, "  quality %8.4g -> price %10.4f\n", p.X, p.Price)
+	}
+	if alpha > 0 {
+		fair, err := opt.MaximizeRevenueWithAffordability(prob, alpha)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "with affordability ≥ %.2f: revenue %.4f, affordability %.4f\n",
+			alpha, fair.Revenue, fair.Affordability)
+	}
+	if prob.N() <= 12 {
+		_, exact, err := opt.MaximizeRevenueBruteForce(prob)
+		if err == nil {
+			fmt.Fprintf(w, "exact optimum (brute force): %.4f (DP achieves %.1f%%)\n", exact, 100*rev/exact)
+		}
+	}
+	return nil
+}
+
+func compress(w io.Writer, points []opt.BuyerPoint, k int) error {
+	prob, err := opt.NewProblem(opt.Monotonize(points))
+	if err != nil {
+		return err
+	}
+	c, err := opt.CompressMenu(prob, k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d-version menu (rolled-up revenue %.4f = %.1f%% of the %d-point optimum):\n",
+		len(c.Points), c.RolledUpRevenue, 100*c.Retention(), prob.N())
+	for _, p := range c.Func.Points() {
+		fmt.Fprintf(w, "  quality %8.4g -> price %10.4f\n", p.X, p.Price)
+	}
+	return nil
+}
+
+// parseTargets parses "x=price,x=price".
+func parseTargets(raw string) ([]opt.PricePoint, error) {
+	if raw == "" {
+		return nil, fmt.Errorf("-points is required")
+	}
+	var out []opt.PricePoint
+	for _, part := range strings.Split(raw, ",") {
+		xs, ps, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad point %q (want x=price)", part)
+		}
+		x, err := strconv.ParseFloat(xs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad quality in %q: %w", part, err)
+		}
+		p, err := strconv.ParseFloat(ps, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad price in %q: %w", part, err)
+		}
+		out = append(out, opt.PricePoint{X: x, Target: p})
+	}
+	return out, nil
+}
+
+// parseBuyerPoints parses "x=value:mass,..." (mass defaults to 1).
+func parseBuyerPoints(raw string) ([]opt.BuyerPoint, error) {
+	if raw == "" {
+		return nil, fmt.Errorf("-points is required")
+	}
+	var out []opt.BuyerPoint
+	for _, part := range strings.Split(raw, ",") {
+		xs, rest, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad point %q (want x=value:mass)", part)
+		}
+		x, err := strconv.ParseFloat(xs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad quality in %q: %w", part, err)
+		}
+		vs, ms, hasMass := strings.Cut(rest, ":")
+		v, err := strconv.ParseFloat(vs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %w", part, err)
+		}
+		mass := 1.0
+		if hasMass {
+			mass, err = strconv.ParseFloat(ms, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad mass in %q: %w", part, err)
+			}
+		}
+		out = append(out, opt.BuyerPoint{X: x, Value: v, Mass: mass})
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(&buf, args); err != nil {
+		t.Fatalf("%v: %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestInterpolateFeasible(t *testing.T) {
+	out := runCmd(t, "interpolate", "-points", "1=10,2=15,4=20")
+	if !strings.Contains(out, "interpolable without arbitrage: true") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "L2 residual 0.0000") {
+		t.Fatalf("feasible targets should have zero residual:\n%s", out)
+	}
+}
+
+func TestInterpolateInfeasible(t *testing.T) {
+	out := runCmd(t, "interpolate", "-points", "1=10,2=25")
+	if !strings.Contains(out, "interpolable without arbitrage: false") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "worst arbitrage hole") {
+		t.Fatalf("missing violation report:\n%s", out)
+	}
+}
+
+func TestRevenueFigure5(t *testing.T) {
+	out := runCmd(t, "revenue", "-points", "1=100:0.25,2=150:0.25,3=280:0.25,4=350:0.25")
+	for _, want := range []string{"193.75", "200.0000", "96.9%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRevenueWithAffordabilityFloor(t *testing.T) {
+	out := runCmd(t, "revenue", "-points", "1=1:1,2=50:1,3=200:1", "-min-affordability", "1")
+	if !strings.Contains(out, "with affordability ≥ 1.00") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestDefaultMass(t *testing.T) {
+	out := runCmd(t, "revenue", "-points", "1=10,2=20")
+	if !strings.Contains(out, "expected revenue 30.0000") {
+		t.Fatalf("default mass should give revenue 30:\n%s", out)
+	}
+}
+
+func TestCompressCommand(t *testing.T) {
+	out := runCmd(t, "compress", "-points", "1=100:0.25,2=150:0.25,3=280:0.25,4=350:0.25", "-k", "2")
+	if !strings.Contains(out, "2-version menu") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "price") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"teleport"},
+		{"interpolate"},
+		{"interpolate", "-points", "junk"},
+		{"interpolate", "-points", "x=1"},
+		{"interpolate", "-points", "1=x"},
+		{"revenue"},
+		{"revenue", "-points", "1=10:x"},
+		{"revenue", "-points", "nope"},
+	}
+	var buf bytes.Buffer
+	for i, args := range cases {
+		if err := run(&buf, args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

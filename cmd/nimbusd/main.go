@@ -1,0 +1,173 @@
+// Command nimbusd runs the Nimbus broker as an HTTP service: it generates
+// the Table 3 datasets (at a configurable scale), lists an offering for
+// each, and serves the marketplace API documented in internal/server.
+//
+//	nimbusd -addr :8080 -scale 0.001 -seed 42
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/market"
+	"nimbus/internal/ml"
+	"nimbus/internal/pricing"
+	"nimbus/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		scale      = flag.Float64("scale", 1e-3, "Table 3 row-count scale (1.0 = paper size)")
+		seed       = flag.Int64("seed", 42, "random seed")
+		samples    = flag.Int("samples", 200, "Monte-Carlo models per NCP when building curves")
+		gridN      = flag.Int("grid", 50, "offered quality grid size")
+		ledger     = flag.String("ledger", "", "optional ledger file: restored at startup, saved on shutdown")
+		rate       = flag.Float64("rate", 50, "per-client request rate limit (requests/second; 0 disables)")
+		commission = flag.Float64("commission", 0.1, "broker's cut of each sale, in [0, 1)")
+	)
+	flag.Parse()
+	if err := run(*addr, *scale, *seed, *samples, *gridN, *ledger, *rate, *commission); err != nil {
+		fmt.Fprintln(os.Stderr, "nimbusd:", err)
+		os.Exit(1)
+	}
+}
+
+// restoreLedger loads a previous ledger file if one exists.
+func restoreLedger(broker *market.Broker, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil // first run
+	}
+	if err != nil {
+		return fmt.Errorf("opening ledger: %w", err)
+	}
+	defer f.Close()
+	if err := broker.RestoreLedger(f); err != nil {
+		return err
+	}
+	log.Printf("nimbusd: restored %d sales (revenue %.2f) from %s",
+		len(broker.Sales()), broker.TotalRevenue(), path)
+	return nil
+}
+
+// saveLedger writes the ledger file atomically (write + rename).
+func saveLedger(broker *market.Broker, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("creating ledger file: %w", err)
+	}
+	if err := broker.SaveLedger(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing ledger file: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// buildBroker generates the Table 3 suite and lists one offering per
+// dataset on a fresh broker.
+func buildBroker(scale float64, seed int64, samples, gridN int, logf func(format string, args ...any)) (*market.Broker, error) {
+	logf("nimbusd: generating datasets (scale %g)...", scale)
+	pairs, err := dataset.Suite(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	broker := market.NewBroker(seed + 1)
+	research := market.Research{
+		Value:  func(e float64) float64 { return 100 / (1 + e) },
+		Demand: func(e float64) float64 { return 1 },
+	}
+	grid := pricing.DefaultGrid(gridN)
+	for _, pair := range pairs {
+		seller, err := market.NewSeller(pair, research)
+		if err != nil {
+			return nil, err
+		}
+		var model ml.Model
+		switch pair.Train.Task {
+		case dataset.Regression:
+			model = ml.LinearRegression{Ridge: 1e-4}
+		case dataset.Classification:
+			model = ml.LogisticRegression{Ridge: 1e-4}
+		}
+		start := time.Now()
+		o, err := broker.List(market.OfferingConfig{
+			Seller:  seller,
+			Model:   model,
+			Grid:    grid,
+			Samples: samples,
+			Seed:    seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("listing %s: %w", pair.Name, err)
+		}
+		logf("nimbusd: listed %s (expected revenue %.2f) in %v", o.Name, o.ExpectedRevenue, time.Since(start).Round(time.Millisecond))
+	}
+	return broker, nil
+}
+
+func run(addr string, scale float64, seed int64, samples, gridN int, ledger string, rate, commission float64) error {
+	broker, err := buildBroker(scale, seed, samples, gridN, log.Printf)
+	if err != nil {
+		return err
+	}
+	if err := broker.SetCommission(commission); err != nil {
+		return err
+	}
+	if ledger != "" {
+		if err := restoreLedger(broker, ledger); err != nil {
+			return err
+		}
+	}
+	var handler http.Handler = server.New(broker)
+	if rate > 0 {
+		handler = server.NewRateLimiter(rate, int(2*rate)).Wrap(handler)
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.WithMiddleware(handler, log.Printf),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, then persist the
+	// books.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("nimbusd: marketplace open on %s (%d offerings)", addr, len(broker.Menu()))
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("nimbusd: shutdown: %v", err)
+		}
+	}
+	if ledger != "" {
+		if err := saveLedger(broker, ledger); err != nil {
+			return err
+		}
+		log.Printf("nimbusd: saved %d sales to %s", len(broker.Sales()), ledger)
+	}
+	return nil
+}

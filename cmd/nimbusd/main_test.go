@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"nimbus/internal/market"
+)
+
+func TestBuildBrokerListsAllSixDatasets(t *testing.T) {
+	var logs []string
+	broker, err := buildBroker(2e-4, 7, 30, 8, func(format string, args ...any) {
+		logs = append(logs, format)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	menu := broker.Menu()
+	if len(menu) != 6 {
+		t.Fatalf("menu %v", menu)
+	}
+	wantModels := map[string]string{
+		"Simulated1": "linear-regression",
+		"YearMSD":    "linear-regression",
+		"CASP":       "linear-regression",
+		"Simulated2": "logistic-regression",
+		"CovType":    "logistic-regression",
+		"SUSY":       "logistic-regression",
+	}
+	for _, name := range menu {
+		parts := strings.SplitN(name, "/", 2)
+		if wantModels[parts[0]] != parts[1] {
+			t.Fatalf("offering %s has unexpected model", name)
+		}
+		o, err := broker.Offering(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.VerifySLA(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if len(logs) == 0 {
+		t.Fatal("no progress logged")
+	}
+}
+
+func TestLedgerSaveRestoreViaFiles(t *testing.T) {
+	broker, err := buildBroker(1e-9, 3, 10, 4, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := broker.Menu()[0]
+	if _, err := broker.BuyAtQuality(name, offeringLoss(t, broker, name), 2); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ledger.json"
+	if err := saveLedger(broker, path); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := buildBroker(1e-9, 3, 10, 4, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restoreLedger(fresh, path); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Sales()) != 1 {
+		t.Fatalf("restored %d sales", len(fresh.Sales()))
+	}
+	// Restoring a missing path is a silent first-run.
+	empty, err := buildBroker(1e-9, 3, 10, 4, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restoreLedger(empty, t.TempDir()+"/missing.json"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func offeringLoss(t *testing.T, broker *market.Broker, name string) string {
+	t.Helper()
+	o, err := broker.Offering(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o.LossNames()[0]
+}
+
+func TestBuildBrokerPropagatesErrors(t *testing.T) {
+	// Scale so tiny that the floor of 64 rows still works — instead poison
+	// via a negative sample count? Samples fall back to default; the
+	// realistic failure is an invalid grid size producing a 2-point grid,
+	// which still works. Exercise the happy path with minimal settings to
+	// keep the error-path coverage in the market package where it lives.
+	if _, err := buildBroker(1e-9, 1, 10, 2, func(string, ...any) {}); err != nil {
+		t.Fatalf("minimal broker failed: %v", err)
+	}
+}

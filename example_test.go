@@ -1,0 +1,91 @@
+package nimbus_test
+
+import (
+	"fmt"
+
+	"nimbus"
+)
+
+// The paper's Figure 5 market: four versions, valuations 100/150/280/350.
+func ExampleMaximizeRevenueDP() {
+	prob, err := nimbus.NewRevenueProblem([]nimbus.BuyerPoint{
+		{X: 1, Value: 100, Mass: 0.25},
+		{X: 2, Value: 150, Mass: 0.25},
+		{X: 3, Value: 280, Mass: 0.25},
+		{X: 4, Value: 350, Mass: 0.25},
+	})
+	if err != nil {
+		panic(err)
+	}
+	f, revenue, err := nimbus.MaximizeRevenueDP(prob)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("revenue %.2f, arbitrage-free %v\n", revenue, f.Validate() == nil)
+	for _, p := range f.Points() {
+		fmt.Printf("quality %.0f -> price %.2f\n", p.X, p.Price)
+	}
+	// Output:
+	// revenue 193.75, arbitrage-free true
+	// quality 1 -> price 100.00
+	// quality 2 -> price 150.00
+	// quality 3 -> price 225.00
+	// quality 4 -> price 300.00
+}
+
+// Detecting arbitrage in hand-set prices: doubling the quality more than
+// doubles the price, so two cheap copies undercut the expensive version.
+func ExampleNewPriceFunction() {
+	f, err := nimbus.NewPriceFunction([]nimbus.PricePointXY{
+		{X: 1, Price: 10},
+		{X: 2, Price: 25},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("arbitrage-free:", f.Validate() == nil)
+	// Output:
+	// arbitrage-free: false
+}
+
+// The coNP-hard SUBADDITIVE INTERPOLATION decision (Definition 6),
+// decidable instantly at marketplace sizes.
+func ExampleSubadditiveInterpolationFeasible() {
+	feasible, err := nimbus.SubadditiveInterpolationFeasible([]nimbus.InterpTarget{
+		{X: 1, Target: 10}, {X: 2, Target: 15},
+	})
+	if err != nil {
+		panic(err)
+	}
+	infeasible, err := nimbus.SubadditiveInterpolationFeasible([]nimbus.InterpTarget{
+		{X: 1, Target: 10}, {X: 2, Target: 25},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(feasible, infeasible)
+	// Output:
+	// true false
+}
+
+// How private is a sold model version? The Gaussian mechanism's noise
+// doubles as an output-perturbation differential-privacy release.
+func ExampleGaussianDPEpsilon() {
+	sensitivity, err := nimbus.ERMSensitivity(1, 0.02, 100000)
+	if err != nil {
+		panic(err)
+	}
+	cheap, err := nimbus.GaussianDPEpsilon(1.0, 20, sensitivity, 1e-6)
+	if err != nil {
+		panic(err)
+	}
+	best, err := nimbus.GaussianDPEpsilon(0.01, 20, sensitivity, 1e-6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cheap version: %s\n", cheap)
+	fmt.Printf("best version:  %s\n", best)
+	// Output:
+	// cheap version: (ε=0.0237, δ=1e-06)-DP
+	// best version:  (ε=0.237, δ=1e-06)-DP
+}

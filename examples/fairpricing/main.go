@@ -1,0 +1,59 @@
+// Fair pricing: trading revenue for affordability.
+//
+// Pure revenue maximization can price most of the market out — the paper's
+// Section 6.3 observes exactly this tension and leaves the trade-off to
+// future work. This example traces the revenue/affordability frontier: the
+// seller picks a minimum fraction of buyers who must be able to afford
+// their version, and the optimizer finds the best arbitrage-free prices
+// under that constraint.
+//
+//	go run ./examples/fairpricing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nimbus"
+)
+
+func main() {
+	// An "enterprise" market: valuations grow convexly with quality, so an
+	// unconstrained optimizer focuses on the high end and abandons small
+	// buyers.
+	const n = 60
+	points := make([]nimbus.BuyerPoint, n)
+	for i := 0; i < n; i++ {
+		x := 1 + 99*float64(i)/(n-1)
+		points[i] = nimbus.BuyerPoint{X: x, Value: x * x / 100, Mass: 1.0 / n}
+	}
+	prob, err := nimbus.NewRevenueProblem(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	_, unconstrained, err := nimbus.MaximizeRevenueDP(prob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unconstrained revenue: %.2f (affordability is whatever it is)\n\n", unconstrained)
+
+	fmt.Printf("%12s %12s %14s\n", "min afford.", "revenue", "achieved aff.")
+	frontier, err := nimbus.AffordabilityFrontier(prob, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range frontier {
+		alpha := float64(i) / float64(len(frontier)-1)
+		fmt.Printf("%12.2f %12.2f %14.3f\n", alpha, r.Revenue, r.Affordability)
+	}
+
+	// A concrete guarantee: at least 90% of buyers must afford a version.
+	fair, err := nimbus.MaximizeRevenueWithAffordability(prob, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith a 90%% affordability floor: revenue %.2f (%.1f%% of unconstrained), affordability %.3f\n",
+		fair.Revenue, 100*fair.Revenue/unconstrained, fair.Affordability)
+	fmt.Println("the constrained prices remain arbitrage-free:", fair.Func.Validate() == nil)
+}

@@ -1,0 +1,73 @@
+// Quickstart: the smallest end-to-end Nimbus marketplace.
+//
+// A seller lists a dataset, the broker trains the optimal linear-regression
+// instance and prices noisy versions of it, and a buyer purchases the most
+// accurate version their budget affords.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nimbus"
+)
+
+func main() {
+	// The seller's product: a synthetic regression dataset, split 75/25.
+	data := nimbus.Simulated1(nimbus.GenConfig{Rows: 5000, Seed: 1})
+	pair, err := nimbus.NewPair(data, nimbus.NewRand(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Market research: buyers value accurate models more, demand is flat.
+	seller, err := nimbus.NewSeller(pair, nimbus.Research{
+		Value:  func(e float64) float64 { return 100 / (1 + e) },
+		Demand: func(e float64) float64 { return 1 },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The broker trains once, derives the price-error curve, and opens shop.
+	broker := nimbus.NewBroker(3)
+	offering, err := broker.List(nimbus.OfferingConfig{
+		Seller: seller,
+		Model:  nimbus.LinearRegression{Ridge: 1e-4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("listed %s (expected revenue %.2f)\n\n", offering.Name, offering.ExpectedRevenue)
+
+	curve, err := offering.Curve("squared")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("price-error menu (every 10th version):")
+	pts := curve.Points()
+	for i := 0; i < len(pts); i += 10 {
+		fmt.Printf("  quality %6.2f  expected error %8.4f  price %7.2f\n", pts[i].X, pts[i].Error, pts[i].Price)
+	}
+
+	// A buyer with a mid-range budget buys the best version they can
+	// afford: enough for an entry tier, not for the top one.
+	budget := (pts[0].Price + pts[len(pts)-1].Price) / 2
+	buyer, err := nimbus.NewBuyer("alice", budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	purchase, err := buyer.BuyBest(broker, offering.Name, "squared")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nalice paid %.2f for a model with expected error %.4f (NCP δ=%.4f)\n",
+		purchase.Price, purchase.ExpectedError, purchase.NCP)
+	fmt.Printf("received %d coefficients; remaining budget %.2f\n", len(purchase.Weights), buyer.Budget)
+
+	// Evaluate what alice actually got on the test set.
+	testErr := nimbus.SquaredLoss{}.Eval(purchase.Weights, pair.Test)
+	fmt.Printf("realized test error of the delivered instance: %.4f\n", testErr)
+}

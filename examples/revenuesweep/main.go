@@ -1,0 +1,95 @@
+// Revenue sweep: a seller-side tool comparing pricing strategies.
+//
+// Before listing a dataset, a seller wants to know how much revenue the
+// arbitrage-free dynamic program recovers compared with the naive
+// strategies the paper evaluates (linear and constant pricing), across
+// different assumptions about the buyer population.
+//
+//	go run ./examples/revenuesweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"nimbus"
+)
+
+// scenario is one assumption about the buyer population: how valuations
+// grow with quality x = 1/NCP ∈ [1, 100], and where the buyer mass sits.
+type scenario struct {
+	name   string
+	value  func(x float64) float64
+	demand func(x float64) float64
+}
+
+func main() {
+	scenarios := []scenario{
+		{
+			name:   "enterprise (convex value, uniform demand)",
+			value:  func(x float64) float64 { return x * x / 100 },
+			demand: func(x float64) float64 { return 1 },
+		},
+		{
+			name:   "commodity (concave value, uniform demand)",
+			value:  func(x float64) float64 { return 100 * math.Sqrt(x/100) },
+			demand: func(x float64) float64 { return 1 },
+		},
+		{
+			name:   "mid-market (sigmoid value, centered demand)",
+			value:  func(x float64) float64 { return 100 / (1 + math.Exp(-(x-50)/10)) },
+			demand: func(x float64) float64 { d := (x - 50) / 15; return math.Exp(-d * d / 2) },
+		},
+		{
+			name:  "barbell (linear value, demand at the extremes)",
+			value: func(x float64) float64 { return x },
+			demand: func(x float64) float64 {
+				lo := (x - 5) / 10
+				hi := (x - 95) / 10
+				return math.Exp(-lo*lo/2) + math.Exp(-hi*hi/2)
+			},
+		},
+	}
+
+	const n = 100
+	for _, sc := range scenarios {
+		points := make([]nimbus.BuyerPoint, n)
+		for i := 0; i < n; i++ {
+			x := 1 + 99*float64(i)/float64(n-1)
+			points[i] = nimbus.BuyerPoint{X: x, Value: sc.value(x), Mass: sc.demand(x)}
+		}
+		prob, err := nimbus.NewRevenueProblem(nimbus.Monotonize(points))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		mbp, mbpRev, err := nimbus.MaximizeRevenueDP(prob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s\n", sc.name)
+		fmt.Printf("  %-6s %12s %14s\n", "method", "revenue", "affordability")
+		fmt.Printf("  %-6s %12.2f %14.3f\n", "MBP", mbpRev, prob.Affordability(mbp.Price))
+
+		baselines := map[string]func(*nimbus.RevenueProblem) (*nimbus.PriceFunction, error){
+			"Lin": nimbus.Lin, "MaxC": nimbus.MaxC, "MedC": nimbus.MedC, "OptC": nimbus.OptC,
+		}
+		for _, name := range []string{"Lin", "MaxC", "MedC", "OptC"} {
+			f, err := baselines[name](prob)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rev := prob.Revenue(f.Price)
+			gain := "∞"
+			if rev > 0 {
+				gain = fmt.Sprintf("%.1fx", mbpRev/rev)
+			}
+			fmt.Printf("  %-6s %12.2f %14.3f   (MBP gain %s)\n",
+				name, rev, prob.Affordability(f.Price), gain)
+		}
+	}
+
+	fmt.Println("\nMBP dominates in every scenario; the gap is largest when the value")
+	fmt.Println("curve is convex or demand sits where flat prices cannot reach.")
+}

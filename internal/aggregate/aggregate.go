@@ -1,0 +1,192 @@
+// Package aggregate implements the paper's Example 1: pricing a SQL-style
+// aggregate — the average of a column — instead of a full ML model. The
+// hypothesis space is simply ℝ, and the two randomized mechanisms are the
+// ones the example defines:
+//
+//	K₁(h*, w) = h* + w,  w ~ U[−δ, δ]        (additive uniform)
+//	K₂(h*, w) = h* · w,  w ~ U[1−δ, 1+δ]     (multiplicative uniform)
+//
+// Both are unbiased and their expected squared error is monotone in the
+// NCP δ, so the same arbitrage-free pricing machinery applies with
+// x = 1/δ as the quality knob. Because the error laws are known in closed
+// form (δ²/3 and h*²·δ²/3 respectively), the error curves here are exact
+// rather than Monte-Carlo.
+package aggregate
+
+import (
+	"errors"
+	"fmt"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/opt"
+	"nimbus/internal/pricing"
+	"nimbus/internal/rng"
+)
+
+// Mechanism selects one of Example 1's randomized mechanisms.
+type Mechanism int
+
+const (
+	// Additive is K₁: h* + U[−δ, δ].
+	Additive Mechanism = iota
+	// Multiplicative is K₂: h* · U[1−δ, 1+δ].
+	Multiplicative
+)
+
+// String implements fmt.Stringer.
+func (m Mechanism) String() string {
+	switch m {
+	case Additive:
+		return "additive-uniform"
+	case Multiplicative:
+		return "multiplicative-uniform"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Offering prices the average of one column of a dataset.
+type Offering struct {
+	// Column is the priced feature column index.
+	Column int
+	// Mechanism is the Example 1 noise mechanism in use.
+	Mechanism Mechanism
+	// TrueAverage is the optimal "model instance" h*: the exact column
+	// average on the train set.
+	TrueAverage float64
+	// PriceFunc is the arbitrage-free pricing function over x = 1/δ.
+	PriceFunc *pricing.Function
+	// Curve is the buyer-facing price–error menu (squared error).
+	Curve *pricing.PriceErrorCurve
+
+	grid []float64
+}
+
+// Config configures an aggregate offering.
+type Config struct {
+	// Data supplies the column; the average is computed on the whole
+	// relation (an aggregate has no train/test split).
+	Data *dataset.Dataset
+	// Column is the feature column to average.
+	Column int
+	// Mechanism picks K₁ or K₂ (default K₁).
+	Mechanism Mechanism
+	// Grid is the offered quality grid over x = 1/δ; empty means the
+	// default 100-point grid. For the multiplicative mechanism δ ≤ 1 keeps
+	// the noise sign-preserving, which the default grid satisfies.
+	Grid []float64
+	// Research prices the versions; value/demand are functions of the
+	// expected squared error.
+	Value  func(err float64) float64
+	Demand func(err float64) float64
+}
+
+// New computes the aggregate, derives the exact error curve and optimizes
+// prices with the same DP used for ML models.
+func New(cfg Config) (*Offering, error) {
+	if cfg.Data == nil {
+		return nil, errors.New("aggregate: nil dataset")
+	}
+	if cfg.Column < 0 || cfg.Column >= cfg.Data.D() {
+		return nil, fmt.Errorf("aggregate: column %d out of range [0, %d)", cfg.Column, cfg.Data.D())
+	}
+	if cfg.Value == nil || cfg.Demand == nil {
+		return nil, errors.New("aggregate: value and demand curves are required")
+	}
+	grid := cfg.Grid
+	if len(grid) == 0 {
+		grid = pricing.DefaultGrid(100)
+	}
+
+	var sum float64
+	n := cfg.Data.N()
+	for i := 0; i < n; i++ {
+		x, _ := cfg.Data.Row(i)
+		sum += x[cfg.Column]
+	}
+	avg := sum / float64(n)
+
+	// Exact expected squared error per quality.
+	errs := make([]float64, len(grid))
+	for i, x := range grid {
+		if x <= 0 {
+			return nil, fmt.Errorf("aggregate: non-positive grid quality %v", x)
+		}
+		delta := 1 / x
+		errs[i] = expectedSquaredError(cfg.Mechanism, avg, delta)
+	}
+	curve, err := exactCurve(cfg.Mechanism.String(), grid, errs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Research → buyer points → DP, as for ML offerings.
+	points := make([]opt.BuyerPoint, len(grid))
+	for i, x := range grid {
+		v := cfg.Value(errs[i])
+		m := cfg.Demand(errs[i])
+		if v < 0 {
+			v = 0
+		}
+		if m < 0 {
+			m = 0
+		}
+		points[i] = opt.BuyerPoint{X: x, Value: v, Mass: m}
+	}
+	prob, err := opt.NewProblem(opt.Monotonize(points))
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: building revenue problem: %w", err)
+	}
+	priceFn, _, err := opt.MaximizeRevenueDP(prob)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: revenue optimization: %w", err)
+	}
+	pec, err := pricing.NewPriceErrorCurve("aggregate-average", curve, priceFn)
+	if err != nil {
+		return nil, err
+	}
+	return &Offering{
+		Column:      cfg.Column,
+		Mechanism:   cfg.Mechanism,
+		TrueAverage: avg,
+		PriceFunc:   priceFn,
+		Curve:       pec,
+		grid:        grid,
+	}, nil
+}
+
+// expectedSquaredError is the closed-form E[(h_δ − h*)²] of Example 1.
+func expectedSquaredError(m Mechanism, avg, delta float64) float64 {
+	switch m {
+	case Multiplicative:
+		// h*(w−1), w−1 ~ U[−δ, δ]: variance h*²·δ²/3.
+		return avg * avg * delta * delta / 3
+	default:
+		// w ~ U[−δ, δ]: variance δ²/3.
+		return delta * delta / 3
+	}
+}
+
+// exactCurve wraps a known-exact error sequence in an ErrorCurve via the
+// standard constructor (which validates monotonicity).
+func exactCurve(name string, xs, errs []float64) (*pricing.ErrorCurve, error) {
+	// pricing's constructor is unexported; rebuild through the public
+	// Monte-Carlo-free path: the sequence is already monotone so the
+	// isotonic projection inside is a no-op.
+	return pricing.ExactCurve(name, xs, errs)
+}
+
+// Sell draws one noisy aggregate at quality x and returns (value, price).
+func (o *Offering) Sell(x float64, src *rng.Source) (float64, float64, error) {
+	if x <= 0 {
+		return 0, 0, fmt.Errorf("aggregate: non-positive quality %v", x)
+	}
+	delta := 1 / x
+	price := o.PriceFunc.Price(x)
+	switch o.Mechanism {
+	case Multiplicative:
+		return o.TrueAverage * src.Uniform(1-delta, 1+delta), price, nil
+	default:
+		return o.TrueAverage + src.Uniform(-delta, delta), price, nil
+	}
+}

@@ -1,0 +1,152 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/rng"
+	"nimbus/internal/vec"
+)
+
+func fixture(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	// A tiny relation with a known column-0 average of 2.5.
+	m := vec.NewMatrix(4, 2)
+	copy(m.Data, []float64{1, 9, 2, 9, 3, 9, 4, 9})
+	d, err := dataset.New("toy", dataset.Regression, m, []float64{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func research() (func(float64) float64, func(float64) float64) {
+	return func(e float64) float64 { return 10 / (1 + e) },
+		func(e float64) float64 { return 1 }
+}
+
+func TestNewValidation(t *testing.T) {
+	v, d := research()
+	if _, err := New(Config{Column: 0, Value: v, Demand: d}); err == nil {
+		t.Fatal("nil data accepted")
+	}
+	data := fixture(t)
+	if _, err := New(Config{Data: data, Column: 5, Value: v, Demand: d}); err == nil {
+		t.Fatal("bad column accepted")
+	}
+	if _, err := New(Config{Data: data, Column: 0}); err == nil {
+		t.Fatal("missing research accepted")
+	}
+	if _, err := New(Config{Data: data, Column: 0, Value: v, Demand: d, Grid: []float64{-1, 1}}); err == nil {
+		t.Fatal("bad grid accepted")
+	}
+}
+
+func TestTrueAverage(t *testing.T) {
+	v, d := research()
+	o, err := New(Config{Data: fixture(t), Column: 0, Value: v, Demand: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.TrueAverage != 2.5 {
+		t.Fatalf("average %v, want 2.5", o.TrueAverage)
+	}
+	o2, err := New(Config{Data: fixture(t), Column: 1, Value: v, Demand: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.TrueAverage != 9 {
+		t.Fatalf("column 1 average %v, want 9", o2.TrueAverage)
+	}
+}
+
+func TestPricingIsArbitrageFree(t *testing.T) {
+	v, d := research()
+	for _, mech := range []Mechanism{Additive, Multiplicative} {
+		o, err := New(Config{Data: fixture(t), Column: 0, Mechanism: mech, Value: v, Demand: d})
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		if err := o.PriceFunc.Validate(); err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+	}
+}
+
+func TestErrorCurveMatchesClosedForm(t *testing.T) {
+	v, d := research()
+	grid := []float64{1, 2, 10}
+	o, err := New(Config{Data: fixture(t), Column: 0, Grid: grid, Value: v, Demand: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range grid {
+		delta := 1 / x
+		want := delta * delta / 3
+		if got := o.Curve.ErrorAt(x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("additive error at %v: %v, want %v", x, got, want)
+		}
+	}
+	om, err := New(Config{Data: fixture(t), Column: 0, Mechanism: Multiplicative, Grid: grid, Value: v, Demand: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range grid {
+		delta := 1 / x
+		want := 2.5 * 2.5 * delta * delta / 3
+		if got := om.Curve.ErrorAt(x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("multiplicative error at %v: %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestSellUnbiasedAndCalibrated(t *testing.T) {
+	v, d := research()
+	src := rng.New(5)
+	for _, mech := range []Mechanism{Additive, Multiplicative} {
+		o, err := New(Config{Data: fixture(t), Column: 0, Mechanism: mech, Value: v, Demand: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const trials = 200000
+		const x = 2.0 // δ = 0.5
+		var sum, sqErr float64
+		for i := 0; i < trials; i++ {
+			got, price, err := o.Sell(x, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if price != o.PriceFunc.Price(x) {
+				t.Fatal("price mismatch")
+			}
+			sum += got
+			sqErr += (got - o.TrueAverage) * (got - o.TrueAverage)
+		}
+		mean := sum / trials
+		if math.Abs(mean-o.TrueAverage) > 0.01*math.Abs(o.TrueAverage)+0.005 {
+			t.Fatalf("%v: biased mean %v vs %v", mech, mean, o.TrueAverage)
+		}
+		want := o.Curve.ErrorAt(x)
+		if got := sqErr / trials; math.Abs(got-want)/want > 0.05 {
+			t.Fatalf("%v: E[sq err] %v vs closed form %v", mech, got, want)
+		}
+	}
+}
+
+func TestSellRejectsBadQuality(t *testing.T) {
+	v, d := research()
+	o, err := New(Config{Data: fixture(t), Column: 0, Value: v, Demand: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.Sell(0, rng.New(1)); err == nil {
+		t.Fatal("zero quality accepted")
+	}
+}
+
+func TestMechanismString(t *testing.T) {
+	if Additive.String() != "additive-uniform" || Multiplicative.String() != "multiplicative-uniform" {
+		t.Fatal("mechanism names")
+	}
+}

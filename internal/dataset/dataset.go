@@ -1,0 +1,153 @@
+// Package dataset implements the relational-data substrate of the Nimbus
+// marketplace: typed labeled relations, train/test splits, CSV
+// import/export, and the synthetic data generators behind the paper's six
+// evaluation datasets (Table 3).
+//
+// A Dataset is a single relation whose rows are labeled examples
+// z = (x, y): the feature vector x = z[X] and the target y = z[Y], exactly
+// the setup of Section 2 of the paper. Classification targets are stored as
+// ±1 internally; generators and the CSV loader normalize 0/1 labels.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"nimbus/internal/rng"
+	"nimbus/internal/vec"
+)
+
+// Task distinguishes the two supervised settings the paper prices.
+type Task int
+
+const (
+	// Regression targets are real-valued.
+	Regression Task = iota
+	// Classification targets are ±1.
+	Classification
+)
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	switch t {
+	case Regression:
+		return "regression"
+	case Classification:
+		return "classification"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// ErrEmpty is returned when an operation needs at least one example.
+var ErrEmpty = errors.New("dataset: empty dataset")
+
+// Dataset is a labeled relation: one row per example, Features[i] the
+// feature vector and Target[i] the label of example i.
+type Dataset struct {
+	// Name identifies the relation in stats output and the market menu.
+	Name string
+	// Task is the supervised task the relation supports.
+	Task Task
+	// Columns optionally names the feature columns; may be nil.
+	Columns []string
+	// Features is the n x d design matrix.
+	Features *vec.Matrix
+	// Target holds the n labels (±1 for classification).
+	Target []float64
+}
+
+// New constructs a dataset and validates shapes.
+func New(name string, task Task, features *vec.Matrix, target []float64) (*Dataset, error) {
+	if features == nil || features.Rows == 0 {
+		return nil, fmt.Errorf("dataset %q: %w", name, ErrEmpty)
+	}
+	if features.Rows != len(target) {
+		return nil, fmt.Errorf("dataset %q: %d rows but %d targets: %w",
+			name, features.Rows, len(target), vec.ErrDimension)
+	}
+	if task == Classification {
+		for i, y := range target {
+			if y != 1 && y != -1 {
+				return nil, fmt.Errorf("dataset %q: row %d has classification label %v, want ±1", name, i, y)
+			}
+		}
+	}
+	return &Dataset{Name: name, Task: task, Features: features, Target: target}, nil
+}
+
+// N returns the number of examples.
+func (d *Dataset) N() int { return d.Features.Rows }
+
+// D returns the number of features.
+func (d *Dataset) D() int { return d.Features.Cols }
+
+// Row returns (x, y) for example i; x aliases the dataset storage.
+func (d *Dataset) Row(i int) ([]float64, float64) {
+	return d.Features.Row(i), d.Target[i]
+}
+
+// Subset returns a new dataset containing the given row indexes (copied).
+func (d *Dataset) Subset(name string, idx []int) *Dataset {
+	m := vec.NewMatrix(len(idx), d.D())
+	y := make([]float64, len(idx))
+	for r, i := range idx {
+		copy(m.Row(r), d.Features.Row(i))
+		y[r] = d.Target[i]
+	}
+	return &Dataset{Name: name, Task: d.Task, Columns: d.Columns, Features: m, Target: y}
+}
+
+// Split shuffles the rows with src and splits them into a train set with
+// trainFrac of the examples and a test set with the remainder, mirroring the
+// seller's (Dtrain, Dtest) pair from Section 3.1.
+func (d *Dataset) Split(trainFrac float64, src *rng.Source) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: trainFrac %v outside (0,1)", trainFrac)
+	}
+	n := d.N()
+	perm := src.Perm(n)
+	cut := int(float64(n) * trainFrac)
+	if cut == 0 || cut == n {
+		return nil, nil, fmt.Errorf("dataset: split of %d rows at %v leaves an empty side", n, trainFrac)
+	}
+	train = d.Subset(d.Name+"/train", perm[:cut])
+	test = d.Subset(d.Name+"/test", perm[cut:])
+	return train, test, nil
+}
+
+// Pair is the seller's product: a dataset already split into the train set
+// used to fit model instances and the test set used for error reporting.
+type Pair struct {
+	Name  string
+	Train *Dataset
+	Test  *Dataset
+}
+
+// NewPair splits d 75/25 (the ratio behind Table 3's n1/n2 columns).
+func NewPair(d *Dataset, src *rng.Source) (*Pair, error) {
+	train, test, err := d.Split(0.75, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{Name: d.Name, Train: train, Test: test}, nil
+}
+
+// Stats is one row of the paper's Table 3.
+type Stats struct {
+	Name string
+	Task Task
+	N1   int // train examples
+	N2   int // test examples
+	D    int // features
+}
+
+// Stats reports the Table 3 row for the pair.
+func (p *Pair) Stats() Stats {
+	return Stats{Name: p.Name, Task: p.Train.Task, N1: p.Train.N(), N2: p.Test.N(), D: p.Train.D()}
+}
+
+// String renders the stats row in Table 3's layout.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-12s %-14s n1=%-8d n2=%-8d d=%d", s.Name, s.Task, s.N1, s.N2, s.D)
+}

@@ -1,0 +1,222 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"nimbus/internal/rng"
+	"nimbus/internal/vec"
+)
+
+func TestNewValidation(t *testing.T) {
+	m := vec.NewMatrix(2, 3)
+	if _, err := New("x", Regression, m, []float64{1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := New("x", Regression, vec.NewMatrix(0, 3), nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := New("x", Classification, m, []float64{1, 0.5}); err == nil {
+		t.Fatal("expected label validation error")
+	}
+	if _, err := New("x", Classification, m, []float64{1, -1}); err != nil {
+		t.Fatalf("valid classification rejected: %v", err)
+	}
+}
+
+func TestSplitSizesAndDisjoint(t *testing.T) {
+	d := Simulated1(GenConfig{Rows: 100, Seed: 1})
+	train, test, err := d.Split(0.75, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.N() != 75 || test.N() != 25 {
+		t.Fatalf("split sizes %d/%d", train.N(), test.N())
+	}
+	if train.D() != 20 || test.D() != 20 {
+		t.Fatal("split changed dimensionality")
+	}
+	// Rows must be copies, not aliases.
+	train.Features.Set(0, 0, 12345)
+	found := false
+	for i := 0; i < d.N(); i++ {
+		if d.Features.At(i, 0) == 12345 {
+			found = true
+		}
+	}
+	if found {
+		t.Fatal("split aliases parent storage")
+	}
+}
+
+func TestSplitRejectsBadFrac(t *testing.T) {
+	d := Simulated1(GenConfig{Rows: 10, Seed: 1})
+	for _, f := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := d.Split(f, rng.New(1)); err == nil {
+			t.Fatalf("split accepted frac %v", f)
+		}
+	}
+}
+
+func TestSimulated1IsNoiselessLinear(t *testing.T) {
+	d := Simulated1(GenConfig{Rows: 500, Seed: 3})
+	if d.Task != Regression || d.D() != 20 {
+		t.Fatalf("bad shape: task=%v d=%d", d.Task, d.D())
+	}
+	// Targets are an exact linear function: solving the normal equations on
+	// any 20 independent rows recovers a w that predicts all rows exactly.
+	sub := d.Subset("head", seq(40))
+	g := sub.Features.Gram()
+	rhs := sub.Features.TMulVec(sub.Target)
+	w, err := vec.SolveSPD(g, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.N(); i++ {
+		x, y := d.Row(i)
+		if math.Abs(vec.Dot(x, w)-y) > 1e-6 {
+			t.Fatalf("row %d not on hyperplane: pred %v vs %v", i, vec.Dot(x, w), y)
+		}
+	}
+}
+
+func TestSimulated2LabelNoiseRate(t *testing.T) {
+	d := Simulated2(GenConfig{Rows: 100000, Seed: 4})
+	if d.Task != Classification || d.D() != 20 {
+		t.Fatal("bad shape")
+	}
+	pos := 0
+	for _, y := range d.Target {
+		if y == 1 {
+			pos++
+		} else if y != -1 {
+			t.Fatalf("label %v not ±1", y)
+		}
+	}
+	frac := float64(pos) / float64(d.N())
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("positive fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestStandInsMatchTable3Dims(t *testing.T) {
+	want := map[string]struct {
+		task Task
+		d    int
+	}{
+		"YearMSD": {Regression, 90},
+		"CASP":    {Regression, 9},
+		"CovType": {Classification, 54},
+		"SUSY":    {Classification, 18},
+	}
+	for name, w := range want {
+		ds, err := StandIn(name, GenConfig{Rows: 200, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Task != w.task || ds.D() != w.d {
+			t.Fatalf("%s: task=%v d=%d, want task=%v d=%d", name, ds.Task, ds.D(), w.task, w.d)
+		}
+	}
+	if _, err := StandIn("nope", GenConfig{Rows: 10, Seed: 1}); err == nil {
+		t.Fatal("unknown stand-in accepted")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Simulated1(GenConfig{Rows: 50, Seed: 9})
+	b := Simulated1(GenConfig{Rows: 50, Seed: 9})
+	if vec.MaxAbsDiff(a.Features.Data, b.Features.Data) != 0 || vec.MaxAbsDiff(a.Target, b.Target) != 0 {
+		t.Fatal("same seed produced different data")
+	}
+	c := Simulated1(GenConfig{Rows: 50, Seed: 10})
+	if vec.MaxAbsDiff(a.Target, c.Target) == 0 {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSuiteProducesTable3(t *testing.T) {
+	pairs, err := Suite(0.001, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 6 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	for _, p := range pairs {
+		s := p.Stats()
+		if s.N1 == 0 || s.N2 == 0 || s.D == 0 {
+			t.Fatalf("degenerate stats %+v", s)
+		}
+		if got := float64(s.N1) / float64(s.N1+s.N2); math.Abs(got-0.75) > 0.02 {
+			t.Fatalf("%s: train fraction %v", s.Name, got)
+		}
+		if !strings.Contains(s.String(), s.Name) {
+			t.Fatal("Stats.String misses name")
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := Simulated2(GenConfig{Rows: 30, Seed: 6})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "round", Classification, "target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != d.N() || back.D() != d.D() {
+		t.Fatalf("shape changed: %dx%d -> %dx%d", d.N(), d.D(), back.N(), back.D())
+	}
+	if vec.MaxAbsDiff(back.Target, d.Target) != 0 {
+		t.Fatal("targets changed in round trip")
+	}
+	if vec.MaxAbsDiff(back.Features.Data, d.Features.Data) > 1e-12 {
+		t.Fatal("features changed in round trip")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing target": "a,b\n1,2\n",
+		"bad float":      "a,target\nx,1\n",
+		"empty body":     "a,target\n",
+	}
+	for name, body := range cases {
+		if _, err := ReadCSV(strings.NewReader(body), "t", Regression, "target"); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadCSVNormalizesZeroLabels(t *testing.T) {
+	body := "a,target\n1,0\n2,1\n"
+	d, err := ReadCSV(strings.NewReader(body), "t", Classification, "target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target[0] != -1 || d.Target[1] != 1 {
+		t.Fatalf("labels %v, want [-1 1]", d.Target)
+	}
+}
+
+func TestTable3RowsScaling(t *testing.T) {
+	if Table3Rows("Simulated1", 1) != 10000000 {
+		t.Fatal("paper scale wrong")
+	}
+	if Table3Rows("CASP", 1e-6) != 64 {
+		t.Fatal("floor not applied")
+	}
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

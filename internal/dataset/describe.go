@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// ColumnSummary holds per-column descriptive statistics.
+type ColumnSummary struct {
+	Name   string  `json:"name"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"std_dev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Summary describes a relation: per-feature statistics plus the target.
+type Summary struct {
+	Name    string          `json:"name"`
+	Task    string          `json:"task"`
+	Rows    int             `json:"rows"`
+	Columns []ColumnSummary `json:"columns"`
+	Target  ColumnSummary   `json:"target"`
+}
+
+// Describe computes descriptive statistics for the relation — the seller's
+// first look at what they are listing.
+func (d *Dataset) Describe() (*Summary, error) {
+	if d.N() == 0 {
+		return nil, ErrEmpty
+	}
+	n := float64(d.N())
+	cols := make([]ColumnSummary, d.D())
+	for j := range cols {
+		name := fmt.Sprintf("f%d", j)
+		if d.Columns != nil && j < len(d.Columns) {
+			name = d.Columns[j]
+		}
+		cols[j] = ColumnSummary{Name: name, Min: math.Inf(1), Max: math.Inf(-1)}
+	}
+	for i := 0; i < d.N(); i++ {
+		x, _ := d.Row(i)
+		for j, v := range x {
+			cols[j].Mean += v / n
+			cols[j].Min = math.Min(cols[j].Min, v)
+			cols[j].Max = math.Max(cols[j].Max, v)
+		}
+	}
+	for i := 0; i < d.N(); i++ {
+		x, _ := d.Row(i)
+		for j, v := range x {
+			dlt := v - cols[j].Mean
+			cols[j].StdDev += dlt * dlt / n
+		}
+	}
+	for j := range cols {
+		cols[j].StdDev = math.Sqrt(cols[j].StdDev)
+	}
+
+	target := ColumnSummary{Name: "target", Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, y := range d.Target {
+		target.Mean += y / n
+		target.Min = math.Min(target.Min, y)
+		target.Max = math.Max(target.Max, y)
+	}
+	for _, y := range d.Target {
+		dlt := y - target.Mean
+		target.StdDev += dlt * dlt / n
+	}
+	target.StdDev = math.Sqrt(target.StdDev)
+
+	return &Summary{
+		Name:    d.Name,
+		Task:    d.Task.String(),
+		Rows:    d.N(),
+		Columns: cols,
+		Target:  target,
+	}, nil
+}
+
+// Write renders the summary as a fixed-width table.
+func (s *Summary) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s (%s, %d rows)\n%-12s %12s %12s %12s %12s\n",
+		s.Name, s.Task, s.Rows, "column", "mean", "std", "min", "max"); err != nil {
+		return err
+	}
+	rows := append(append([]ColumnSummary(nil), s.Columns...), s.Target)
+	for _, c := range rows {
+		if _, err := fmt.Fprintf(w, "%-12s %12.4g %12.4g %12.4g %12.4g\n",
+			c.Name, c.Mean, c.StdDev, c.Min, c.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}

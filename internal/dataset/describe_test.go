@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"nimbus/internal/vec"
+)
+
+func TestDescribeKnownStats(t *testing.T) {
+	m := vec.NewMatrix(4, 2)
+	copy(m.Data, []float64{
+		1, 10,
+		2, 10,
+		3, 10,
+		4, 10,
+	})
+	d, err := New("toy", Regression, m, []float64{0, 2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Columns = []string{"a", "b"}
+	s, err := d.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows != 4 || s.Task != "regression" {
+		t.Fatalf("header %+v", s)
+	}
+	a := s.Columns[0]
+	if a.Name != "a" || a.Mean != 2.5 || a.Min != 1 || a.Max != 4 {
+		t.Fatalf("column a %+v", a)
+	}
+	if math.Abs(a.StdDev-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("std %v", a.StdDev)
+	}
+	b := s.Columns[1]
+	if b.StdDev != 0 || b.Mean != 10 {
+		t.Fatalf("constant column %+v", b)
+	}
+	if s.Target.Mean != 3 || s.Target.Min != 0 || s.Target.Max != 6 {
+		t.Fatalf("target %+v", s.Target)
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	d := Simulated1(GenConfig{Rows: 10, Seed: 1}).Subset("empty", nil)
+	if _, err := d.Describe(); err == nil {
+		t.Fatal("empty dataset described")
+	}
+}
+
+func TestSummaryWrite(t *testing.T) {
+	d := Simulated1(GenConfig{Rows: 50, Seed: 2})
+	s, err := d.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Simulated1", "f0", "f19", "target", "mean", "std"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV throws arbitrary bytes at the CSV loader: it must never
+// panic, and anything it accepts must be structurally sound.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,target\n1,2\n")
+	f.Add("a,b,target\n1,2,0\nx,y,z\n")
+	f.Add("")
+	f.Add("target\n1\n\n5\n")
+	f.Add("a,target\n1e308,1\n-1e308,0\n")
+	f.Fuzz(func(t *testing.T, body string) {
+		for _, task := range []Task{Regression, Classification} {
+			ds, err := ReadCSV(strings.NewReader(body), "fuzz", task, "target")
+			if err != nil {
+				continue
+			}
+			if ds.N() == 0 {
+				t.Fatal("accepted empty dataset")
+			}
+			if ds.Features.Rows != len(ds.Target) {
+				t.Fatalf("rows %d vs targets %d", ds.Features.Rows, len(ds.Target))
+			}
+			if task == Classification {
+				for _, y := range ds.Target {
+					if y != 1 && y != -1 {
+						t.Fatalf("classification label %v", y)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStreamCSVValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := StreamCSV(&buf, "Simulated1", 0, 1); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if err := StreamCSV(&buf, "Unknown", 10, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestStreamCSVRoundTrips(t *testing.T) {
+	for name, task := range map[string]Task{
+		"Simulated1": Regression,
+		"Simulated2": Classification,
+		"YearMSD":    Regression,
+		"CovType":    Classification,
+	} {
+		var buf bytes.Buffer
+		if err := StreamCSV(&buf, name, 50, 9); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ds, err := ReadCSV(&buf, name, task, "target")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.N() != 50 {
+			t.Fatalf("%s: %d rows", name, ds.N())
+		}
+	}
+}
+
+func TestStreamMatchesBatchGenerator(t *testing.T) {
+	// Same name + seed: the streamed rows must equal the in-memory
+	// generator's rows exactly (same recipe, same stream consumption)
+	// for the pure-Gaussian datasets.
+	const rows = 40
+	batch := Simulated1(GenConfig{Rows: rows, Seed: 17})
+	var buf bytes.Buffer
+	if err := StreamCSV(&buf, "Simulated1", rows, 17); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := ReadCSV(&buf, "s", Regression, "target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		bx, by := batch.Row(i)
+		sx, sy := streamed.Row(i)
+		for j := range bx {
+			if bx[j] != sx[j] {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, bx[j], sx[j])
+			}
+		}
+		if by != sy {
+			t.Fatalf("row %d target: %v vs %v", i, by, sy)
+		}
+	}
+}
+
+func TestStreamDimensions(t *testing.T) {
+	var buf bytes.Buffer
+	if err := StreamCSV(&buf, "SUSY", 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if got := len(strings.Split(header, ",")); got != 19 { // 18 features + target
+		t.Fatalf("SUSY header has %d columns", got)
+	}
+}

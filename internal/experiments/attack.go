@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nimbus/internal/noise"
+	"nimbus/internal/rng"
+	"nimbus/internal/vec"
+)
+
+// Arbitrage attack simulation: the averaging adversary of Theorem 5's proof
+// made concrete. An attacker buys k independent noisy instances at quality
+// x (total cost k·p(x)) and averages them. By unbiasedness the average has
+// expected squared distance δ/k = 1/(k·x) from the optimal model — exactly
+// the error of the honest version at quality k·x. The attack is profitable
+// iff k·p(x) < p(k·x), i.e. iff p is NOT subadditive. Running the attack
+// against a pricing function is therefore an end-to-end, empirical check of
+// arbitrage-freeness.
+
+// AttackResult is one (k, x) attack attempt.
+type AttackResult struct {
+	K int     `json:"k"`
+	X float64 `json:"x"`
+	// AttackCost is k·p(x), what the adversary pays.
+	AttackCost float64 `json:"attack_cost"`
+	// HonestCost is p(k·x), the price of the equivalent honest version.
+	HonestCost float64 `json:"honest_cost"`
+	// Profit is HonestCost − AttackCost; positive means arbitrage.
+	Profit float64 `json:"profit"`
+	// MeasuredError is the Monte-Carlo squared distance of the averaged
+	// model from the optimum.
+	MeasuredError float64 `json:"measured_error"`
+	// TargetError is the honest version's expected error 1/(k·x).
+	TargetError float64 `json:"target_error"`
+}
+
+// AttackConfig configures the simulation.
+type AttackConfig struct {
+	// Price is the pricing function under attack.
+	Price func(float64) float64
+	// Dim is the model dimensionality (noise is what matters; the optimal
+	// model itself is irrelevant by translation invariance).
+	Dim int
+	// Ks are the purchase counts to try; empty means {2, 3, 5, 10}.
+	Ks []int
+	// Xs are the purchase qualities to try; empty means {1, 2, 5, 10}.
+	Xs []float64
+	// Rounds is the Monte-Carlo round count per attempt; 0 means 300.
+	Rounds int
+	// Seed drives the noise.
+	Seed int64
+}
+
+// RunArbitrageAttack mounts the averaging attack against every (k, x) pair
+// and reports costs and measured errors.
+func RunArbitrageAttack(cfg AttackConfig) ([]AttackResult, error) {
+	if cfg.Price == nil {
+		return nil, fmt.Errorf("experiments: attack needs a pricing function")
+	}
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("experiments: attack needs a positive dimension, got %d", cfg.Dim)
+	}
+	ks := cfg.Ks
+	if len(ks) == 0 {
+		ks = []int{2, 3, 5, 10}
+	}
+	xs := cfg.Xs
+	if len(xs) == 0 {
+		xs = []float64{1, 2, 5, 10}
+	}
+	rounds := cfg.Rounds
+	if rounds == 0 {
+		rounds = 300
+	}
+	src := rng.New(cfg.Seed)
+	mech := noise.Gaussian{}
+	optimal := vec.Zeros(cfg.Dim) // translation-invariant; origin suffices
+
+	var out []AttackResult
+	for _, k := range ks {
+		if k < 1 {
+			return nil, fmt.Errorf("experiments: attack needs k ≥ 1, got %d", k)
+		}
+		for _, x := range xs {
+			if x <= 0 {
+				return nil, fmt.Errorf("experiments: attack needs x > 0, got %v", x)
+			}
+			delta := 1 / x
+			var errSum float64
+			for r := 0; r < rounds; r++ {
+				avg := vec.Zeros(cfg.Dim)
+				for i := 0; i < k; i++ {
+					vec.AXPY(avg, 1.0/float64(k), mech.Perturb(optimal, delta, src))
+				}
+				errSum += vec.SqNorm2(avg)
+			}
+			attackCost := float64(k) * cfg.Price(x)
+			honestCost := cfg.Price(float64(k) * x)
+			out = append(out, AttackResult{
+				K:             k,
+				X:             x,
+				AttackCost:    attackCost,
+				HonestCost:    honestCost,
+				Profit:        honestCost - attackCost,
+				MeasuredError: errSum / float64(rounds),
+				TargetError:   delta / float64(k),
+			})
+		}
+	}
+	return out, nil
+}
+
+// MaxProfit returns the largest attack profit in the results (≤ 0 means
+// the pricing survived every attempt).
+func MaxProfit(results []AttackResult) float64 {
+	best := 0.0
+	first := true
+	for _, r := range results {
+		if first || r.Profit > best {
+			best = r.Profit
+			first = false
+		}
+	}
+	return best
+}

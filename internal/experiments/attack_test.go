@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"nimbus/internal/opt"
+)
+
+func TestAttackValidation(t *testing.T) {
+	if _, err := RunArbitrageAttack(AttackConfig{Dim: 3}); err == nil {
+		t.Fatal("nil price accepted")
+	}
+	price := func(x float64) float64 { return x }
+	if _, err := RunArbitrageAttack(AttackConfig{Price: price}); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	if _, err := RunArbitrageAttack(AttackConfig{Price: price, Dim: 3, Ks: []int{0}}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := RunArbitrageAttack(AttackConfig{Price: price, Dim: 3, Xs: []float64{-1}}); err == nil {
+		t.Fatal("x<0 accepted")
+	}
+}
+
+func TestAttackFailsAgainstDPPrices(t *testing.T) {
+	// Price the Figure 5 market with the DP and mount the attack: no (k, x)
+	// pair may profit.
+	prob, err := opt.NewProblem([]opt.BuyerPoint{
+		{X: 1, Value: 100, Mass: 0.25},
+		{X: 2, Value: 150, Mass: 0.25},
+		{X: 3, Value: 280, Mass: 0.25},
+		{X: 4, Value: 350, Mass: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := opt.MaximizeRevenueDP(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunArbitrageAttack(AttackConfig{
+		Price: f.Price, Dim: 10,
+		Ks: []int{2, 3, 4}, Xs: []float64{0.5, 1, 2}, Rounds: 100, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := MaxProfit(results); p > 1e-9 {
+		t.Fatalf("arbitrage profit %v against DP prices", p)
+	}
+	// The averaged model really does hit the honest version's error.
+	for _, r := range results {
+		if math.Abs(r.MeasuredError-r.TargetError)/r.TargetError > 0.35 {
+			t.Fatalf("k=%d x=%v: measured %v vs target %v", r.K, r.X, r.MeasuredError, r.TargetError)
+		}
+	}
+}
+
+func TestAttackSucceedsAgainstSuperadditivePrices(t *testing.T) {
+	// A quadratic price is superadditive: buying two halves is cheaper than
+	// one whole, so the attack must show positive profit somewhere.
+	price := func(x float64) float64 { return x * x }
+	results, err := RunArbitrageAttack(AttackConfig{
+		Price: price, Dim: 5, Ks: []int{2}, Xs: []float64{1, 2}, Rounds: 50, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := MaxProfit(results); p <= 0 {
+		t.Fatalf("no profit against superadditive prices: %+v", results)
+	}
+}
+
+func TestAttackAveragingReducesError(t *testing.T) {
+	price := func(x float64) float64 { return x }
+	results, err := RunArbitrageAttack(AttackConfig{
+		Price: price, Dim: 20, Ks: []int{1, 10}, Xs: []float64{1}, Rounds: 400, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var single, averaged float64
+	for _, r := range results {
+		switch r.K {
+		case 1:
+			single = r.MeasuredError
+		case 10:
+			averaged = r.MeasuredError
+		}
+	}
+	if averaged >= single/5 {
+		t.Fatalf("averaging 10 instances only improved %v -> %v", single, averaged)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"nimbus/internal/dataset"
+)
+
+// CSV emitters: every figure's series in machine-readable form, so the
+// plots can be regenerated with any external tool
+// (`nimbus-bench -format csv`).
+
+func writeRows(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: writing CSV header: %w", err)
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("experiments: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteTable3CSV emits the dataset statistics.
+func WriteTable3CSV(w io.Writer, stats []dataset.Stats) error {
+	rows := make([][]string, len(stats))
+	for i, s := range stats {
+		rows[i] = []string{s.Name, s.Task.String(), strconv.Itoa(s.N1), strconv.Itoa(s.N2), strconv.Itoa(s.D)}
+	}
+	return writeRows(w, []string{"dataset", "task", "n1", "n2", "d"}, rows)
+}
+
+// WriteFig6CSV emits one row per (panel, grid point).
+func WriteFig6CSV(w io.Writer, series []ErrorTransformSeries) error {
+	var rows [][]string
+	for _, s := range series {
+		for i := range s.Xs {
+			rows = append(rows, []string{s.Dataset, s.Model, s.Loss, ftoa(s.Xs[i]), ftoa(s.Errs[i])})
+		}
+	}
+	return writeRows(w, []string{"dataset", "model", "loss", "inv_ncp", "expected_error"}, rows)
+}
+
+// WriteRevenuePanelsCSV emits one row per (panel, method).
+func WriteRevenuePanelsCSV(w io.Writer, panels []RevenuePanel) error {
+	var rows [][]string
+	for _, p := range panels {
+		for _, r := range p.Results {
+			rows = append(rows, []string{
+				p.ValueCurve, p.DemandCurve, r.Method,
+				ftoa(r.Revenue), ftoa(r.Affordability), ftoa(r.Seconds),
+			})
+		}
+	}
+	return writeRows(w, []string{"value_curve", "demand_curve", "method", "revenue", "affordability", "seconds"}, rows)
+}
+
+// WriteRuntimePanelsCSV emits one row per (n, method).
+func WriteRuntimePanelsCSV(w io.Writer, panels []RuntimePanel) error {
+	var rows [][]string
+	for _, p := range panels {
+		for _, r := range p.Results {
+			rows = append(rows, []string{
+				strconv.Itoa(p.N), r.Method,
+				ftoa(r.Seconds), ftoa(r.Revenue), ftoa(r.Affordability),
+			})
+		}
+	}
+	return writeRows(w, []string{"n", "method", "seconds", "revenue", "affordability"}, rows)
+}
+
+// WriteFig5CSV emits the worked example.
+func WriteFig5CSV(w io.Writer, results []Fig5Result) error {
+	var rows [][]string
+	for _, r := range results {
+		for i, price := range r.Prices {
+			rows = append(rows, []string{
+				r.Method, strconv.Itoa(i + 1), ftoa(price),
+				ftoa(r.Revenue), strconv.FormatBool(r.ArbitrageFree),
+			})
+		}
+	}
+	return writeRows(w, []string{"method", "quality", "price", "revenue", "arbitrage_free"}, rows)
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return records
+}
+
+func TestWriteTable3CSV(t *testing.T) {
+	stats, err := RunTable3(2e-4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable3CSV(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 7 { // header + 6 datasets
+		t.Fatalf("%d records", len(records))
+	}
+	if records[0][0] != "dataset" {
+		t.Fatalf("header %v", records[0])
+	}
+	for _, r := range records[1:] {
+		if _, err := strconv.Atoi(r[2]); err != nil {
+			t.Fatalf("n1 not an int: %v", r)
+		}
+	}
+}
+
+func TestWriteFig6CSV(t *testing.T) {
+	series := []ErrorTransformSeries{
+		{Dataset: "A", Model: "m", Loss: "squared", Xs: []float64{1, 2}, Errs: []float64{0.5, 0.25}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig6CSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 3 {
+		t.Fatalf("%d records", len(records))
+	}
+	if records[1][3] != "1" || records[2][4] != "0.25" {
+		t.Fatalf("rows %v", records)
+	}
+}
+
+func TestWriteRevenueAndRuntimeCSV(t *testing.T) {
+	v, _ := ValueCurve("convex")
+	d, _ := DemandCurve("uniform")
+	panels, err := RunRevenueGain([]CurveSpec{v}, []CurveSpec{d}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRevenuePanelsCSV(&buf, panels); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 1+5 { // header + 5 methods
+		t.Fatalf("%d revenue records", len(records))
+	}
+
+	rt, err := RunRuntime(v, d, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteRuntimePanelsCSV(&buf, rt); err != nil {
+		t.Fatal(err)
+	}
+	records = parseCSV(t, &buf)
+	if len(records) != 1+2*6 { // header + 2 panels × 6 methods (incl MILP)
+		t.Fatalf("%d runtime records", len(records))
+	}
+}
+
+func TestWriteFig5CSV(t *testing.T) {
+	results, err := RunFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig5CSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 1+5*4 { // header + 5 methods × 4 qualities
+		t.Fatalf("%d records", len(records))
+	}
+}

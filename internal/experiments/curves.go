@@ -1,0 +1,128 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6 and Appendix D): the error-transformation curves of
+// Figure 6, the revenue/affordability comparisons of Figures 7, 8, 11 and
+// 12, the runtime studies of Figures 9, 10, 13 and 14, the dataset table
+// (Table 3) and the Figure 5 worked example, plus the ablations DESIGN.md
+// calls out.
+//
+// The buyer value and demand curve families below are parameterized to the
+// same qualitative regimes the paper draws: values in [0, 100] over the
+// quality axis x = 1/NCP ∈ [1, 100], and demand distributions that are
+// uniform, centered on medium accuracy, concentrated at the extremes, or
+// skewed toward one end.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"nimbus/internal/opt"
+)
+
+// CurveSpec names a scalar curve over the quality axis.
+type CurveSpec struct {
+	// Name labels the curve in experiment output.
+	Name string
+	// F evaluates the curve at quality x ∈ [1, 100].
+	F func(x float64) float64
+}
+
+// maxValue is the top buyer valuation in all curve families, matching the
+// paper's 0–100 value axis.
+const maxValue = 100.0
+
+// ValueCurves returns the buyer-value curve families used by Figures 7 and
+// 11 (the paper varies the value curve with the demand fixed): convex,
+// concave, sigmoid and linear, all monotone non-decreasing in quality.
+func ValueCurves() []CurveSpec {
+	return []CurveSpec{
+		{Name: "convex", F: func(x float64) float64 {
+			t := x / 100
+			return maxValue * t * t
+		}},
+		{Name: "concave", F: func(x float64) float64 {
+			return maxValue * math.Sqrt(x/100)
+		}},
+		{Name: "sigmoid", F: func(x float64) float64 {
+			return maxValue / (1 + math.Exp(-(x-50)/12))
+		}},
+		{Name: "linear", F: func(x float64) float64 {
+			return maxValue * x / 100
+		}},
+	}
+}
+
+// DemandCurves returns the buyer-demand families used by Figures 8 and 12
+// (the paper varies the demand with the value fixed).
+func DemandCurves() []CurveSpec {
+	gauss := func(mu, sigma float64) func(float64) float64 {
+		return func(x float64) float64 {
+			d := (x - mu) / sigma
+			return math.Exp(-d * d / 2)
+		}
+	}
+	return []CurveSpec{
+		{Name: "uniform", F: func(x float64) float64 { return 1 }},
+		{Name: "center", F: gauss(50, 15)},
+		{Name: "extremes", F: func(x float64) float64 {
+			lo, hi := gauss(5, 10), gauss(95, 10)
+			return lo(x) + hi(x)
+		}},
+		{Name: "increasing", F: func(x float64) float64 { return x / 100 }},
+		{Name: "decreasing", F: func(x float64) float64 { return (101 - x) / 100 }},
+	}
+}
+
+// curveByName finds a curve in a family.
+func curveByName(family []CurveSpec, name string) (CurveSpec, error) {
+	for _, c := range family {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	names := make([]string, len(family))
+	for i, c := range family {
+		names[i] = c.Name
+	}
+	return CurveSpec{}, fmt.Errorf("experiments: unknown curve %q (have %v)", name, names)
+}
+
+// ValueCurve looks up a value curve family member by name.
+func ValueCurve(name string) (CurveSpec, error) { return curveByName(ValueCurves(), name) }
+
+// DemandCurve looks up a demand curve family member by name.
+func DemandCurve(name string) (CurveSpec, error) { return curveByName(DemandCurves(), name) }
+
+// GridPoints samples a (value, demand) pair on n evenly spaced qualities in
+// [1, 100] and normalizes the demand to total mass 1, producing the buyer
+// points the revenue optimizers consume. Valuations are monotonized to
+// absorb any non-monotone curve family member.
+func GridPoints(value, demand CurveSpec, n int) ([]opt.BuyerPoint, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("experiments: need at least 1 grid point, got %d", n)
+	}
+	pts := make([]opt.BuyerPoint, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		x := 1.0
+		if n > 1 {
+			x = 1 + 99*float64(i)/float64(n-1)
+		}
+		v := value.F(x)
+		m := demand.F(x)
+		if v < 0 {
+			v = 0
+		}
+		if m < 0 {
+			m = 0
+		}
+		pts[i] = opt.BuyerPoint{X: x, Value: v, Mass: m}
+		total += m
+	}
+	if total > 0 {
+		for i := range pts {
+			pts[i].Mass /= total
+		}
+	}
+	return opt.Monotonize(pts), nil
+}

@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestCurveFamilies(t *testing.T) {
+	for _, v := range ValueCurves() {
+		prev := -1.0
+		for x := 1.0; x <= 100; x++ {
+			val := v.F(x)
+			if val < 0 || val > maxValue+1e-9 {
+				t.Fatalf("%s: value %v at x=%v outside [0, 100]", v.Name, val, x)
+			}
+			if val < prev-1e-9 {
+				t.Fatalf("%s: value curve not monotone at x=%v", v.Name, x)
+			}
+			prev = val
+		}
+	}
+	for _, d := range DemandCurves() {
+		for x := 1.0; x <= 100; x++ {
+			if d.F(x) < 0 {
+				t.Fatalf("%s: negative demand at x=%v", d.Name, x)
+			}
+		}
+	}
+	if _, err := ValueCurve("convex"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DemandCurve("uniform"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValueCurve("nope"); err == nil {
+		t.Fatal("unknown value curve accepted")
+	}
+	if _, err := DemandCurve("nope"); err == nil {
+		t.Fatal("unknown demand curve accepted")
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	v, _ := ValueCurve("convex")
+	d, _ := DemandCurve("uniform")
+	pts, err := GridPoints(v, d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 || pts[0].X != 1 || pts[9].X != 100 {
+		t.Fatalf("grid endpoints: %+v", pts)
+	}
+	var mass float64
+	for _, p := range pts {
+		mass += p.Mass
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Fatalf("mass %v, want 1", mass)
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].Value <= pts[j].Value }) {
+		t.Fatal("values not monotone")
+	}
+	if _, err := GridPoints(v, d, 0); err == nil {
+		t.Fatal("zero-point grid accepted")
+	}
+	one, err := GridPoints(v, d, 1)
+	if err != nil || len(one) != 1 {
+		t.Fatalf("single point grid: %v %v", one, err)
+	}
+}
+
+func TestCompareMethodsOrderingAndGains(t *testing.T) {
+	v, _ := ValueCurve("convex")
+	d, _ := DemandCurve("uniform")
+	panels, err := RunRevenueGain([]CurveSpec{v}, []CurveSpec{d}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 1 {
+		t.Fatalf("%d panels", len(panels))
+	}
+	p := panels[0]
+	if len(p.Results) != 5 {
+		t.Fatalf("%d methods", len(p.Results))
+	}
+	var mbp float64
+	for _, r := range p.Results {
+		if r.Method == "MBP" {
+			mbp = r.Revenue
+		}
+	}
+	// The paper's headline: MBP dominates every baseline in revenue.
+	for _, r := range p.Results {
+		if r.Revenue > mbp+1e-9 {
+			t.Fatalf("%s revenue %v beats MBP %v", r.Method, r.Revenue, mbp)
+		}
+	}
+	// Convex value + Lin is the paper's blow-up case: the gain must be
+	// large (paper: 33.6x on its curves).
+	g, err := p.Gain("Lin", "revenue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 2 {
+		t.Fatalf("convex/Lin revenue gain only %.2fx", g)
+	}
+	ga, err := p.Gain("Lin", "affordability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga < 2 {
+		t.Fatalf("convex/Lin affordability gain only %.2fx", ga)
+	}
+	if _, err := p.Gain("??", "revenue"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, err := p.Gain("Lin", "??"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+func TestConcaveValueLinCompetitive(t *testing.T) {
+	// Figure 7(b): with a concave value curve the linear baseline becomes
+	// competitive (concave ⇒ subadditive ⇒ MBP can match the whole curve,
+	// but Lin also affords most buyers). MBP must still be at least as good.
+	v, _ := ValueCurve("concave")
+	d, _ := DemandCurve("uniform")
+	panels, err := RunRevenueGain([]CurveSpec{v}, []CurveSpec{d}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := panels[0].Gain("Lin", "revenue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 1-1e-9 || g > 2 {
+		t.Fatalf("concave/Lin gain %.2fx, want [1, 2]", g)
+	}
+	// MBP should extract nearly the full surplus for a concave curve.
+	var mbp MethodResult
+	for _, r := range panels[0].Results {
+		if r.Method == "MBP" {
+			mbp = r
+		}
+	}
+	var surplus float64
+	for _, pt := range panels[0].Points {
+		surplus += pt.Mass * pt.Value
+	}
+	if mbp.Revenue < 0.95*surplus {
+		t.Fatalf("MBP revenue %v far below concave surplus %v", mbp.Revenue, surplus)
+	}
+	if mbp.Affordability < 0.99 {
+		t.Fatalf("MBP affordability %v on concave curve", mbp.Affordability)
+	}
+}
+
+func TestRunRuntimeIncludesMILP(t *testing.T) {
+	v, _ := ValueCurve("sigmoid")
+	d, _ := DemandCurve("center")
+	panels, err := RunRuntime(v, d, []int{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 3 {
+		t.Fatalf("%d panels", len(panels))
+	}
+	for _, p := range panels {
+		var mbpRev, milpRev float64
+		seen := map[string]bool{}
+		for _, r := range p.Results {
+			seen[r.Method] = true
+			switch r.Method {
+			case "MBP":
+				mbpRev = r.Revenue
+			case "MILP":
+				milpRev = r.Revenue
+			}
+		}
+		for _, m := range append(MethodNames, "MILP") {
+			if !seen[m] {
+				t.Fatalf("n=%d missing method %s", p.N, m)
+			}
+		}
+		// Proposition 3 bound and exactness ordering.
+		if mbpRev > milpRev+1e-6*(1+milpRev) {
+			t.Fatalf("n=%d: MBP %v above exact %v", p.N, mbpRev, milpRev)
+		}
+		if mbpRev < milpRev/2-1e-9 {
+			t.Fatalf("n=%d: MBP %v below half exact %v", p.N, mbpRev, milpRev)
+		}
+	}
+}
+
+func TestRunFig6Shapes(t *testing.T) {
+	// YearMSD (d=90) needs enough rows to be well-conditioned and enough
+	// Monte-Carlo samples for the noise signal to rise above estimation
+	// error; these are the smallest settings where every panel's shape is
+	// meaningful.
+	series, err := RunFig6(Fig6Config{Scale: 1e-3, GridN: 8, Samples: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 regression datasets × 1 loss + 3 classification × 2 losses = 9.
+	if len(series) != 9 {
+		t.Fatalf("%d series", len(series))
+	}
+	byLoss := map[string]int{}
+	for _, s := range series {
+		byLoss[s.Loss]++
+		// Monotone non-increasing with real improvement across the grid.
+		for i := 1; i < len(s.Errs); i++ {
+			if s.Errs[i] > s.Errs[i-1]+1e-12 {
+				t.Fatalf("%s/%s not monotone", s.Dataset, s.Loss)
+			}
+		}
+		if !(s.Errs[len(s.Errs)-1] < s.Errs[0]) {
+			t.Fatalf("%s/%s error does not decrease: %v", s.Dataset, s.Loss, s.Errs)
+		}
+	}
+	if byLoss["squared"] != 3 || byLoss["logistic"] != 3 || byLoss["zero-one"] != 3 {
+		t.Fatalf("loss panel counts: %v", byLoss)
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	stats, err := RunTable3(1e-3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 6 {
+		t.Fatalf("%d rows", len(stats))
+	}
+	var buf bytes.Buffer
+	if err := WriteTable3(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"Simulated1", "YearMSD", "CASP", "Simulated2", "CovType", "SUSY"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("table output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	results, err := RunFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[string]Fig5Result{}
+	for _, r := range results {
+		byMethod[r.Method] = r
+	}
+	if byMethod["naive"].ArbitrageFree {
+		t.Fatal("naive must show arbitrage")
+	}
+	if math.Abs(byMethod["optimal(MILP)"].Revenue-200) > 1e-9 {
+		t.Fatalf("MILP revenue %v", byMethod["optimal(MILP)"].Revenue)
+	}
+	if math.Abs(byMethod["approx(MBP)"].Revenue-193.75) > 1e-9 {
+		t.Fatalf("MBP revenue %v", byMethod["approx(MBP)"].Revenue)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig5(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "HAS ARBITRAGE") {
+		t.Fatal("rendering misses arbitrage flag")
+	}
+}
+
+func TestRunRelaxationGap(t *testing.T) {
+	results, err := RunRelaxationGap(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ValueCurves())*len(DemandCurves()) {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, r := range results {
+		if r.Ratio < 0.5-1e-9 || r.Ratio > 1+1e-6 {
+			t.Fatalf("%s/%s ratio %v outside [0.5, 1]", r.ValueCurve, r.DemandCurve, r.Ratio)
+		}
+		// The paper's empirical finding: the gap is negligible.
+		if r.Ratio < 0.8 {
+			t.Logf("note: %s/%s ratio %v below 0.8 (allowed but unusual)", r.ValueCurve, r.DemandCurve, r.Ratio)
+		}
+	}
+}
+
+func TestRunErrorInverseAblation(t *testing.T) {
+	results, err := RunErrorInverseAblation(2e-4, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 { // three regression datasets
+		t.Fatalf("%d results", len(results))
+	}
+	for _, r := range results {
+		if r.MaxRelDiff > 0.15 {
+			t.Fatalf("%s: MC vs analytic diff %v", r.Dataset, r.MaxRelDiff)
+		}
+	}
+}
+
+func TestRunTrainerAblation(t *testing.T) {
+	results, err := RunTrainerAblation(2e-4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 { // 6 datasets × 2 trainers
+		t.Fatalf("%d results", len(results))
+	}
+	// Exact/Newton fits must never lose badly to plain GD on the objective.
+	byKey := map[string]float64{}
+	for _, r := range results {
+		byKey[r.Dataset+"/"+r.Trainer] = r.FinalLoss
+	}
+	for _, ds := range []string{"Simulated1", "YearMSD", "CASP"} {
+		if byKey[ds+"/normal-equations"] > byKey[ds+"/gradient-descent"]+1e-6 {
+			t.Fatalf("%s: closed form %v worse than GD %v", ds, byKey[ds+"/normal-equations"], byKey[ds+"/gradient-descent"])
+		}
+	}
+}
+
+func TestWriters(t *testing.T) {
+	v, _ := ValueCurve("convex")
+	d, _ := DemandCurve("uniform")
+	panels, err := RunRevenueGain([]CurveSpec{v}, []CurveSpec{d}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRevenuePanels(&buf, "Figure 7", panels); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range MethodNames {
+		if !strings.Contains(buf.String(), m) {
+			t.Fatalf("revenue rendering misses %s", m)
+		}
+	}
+	rt, err := RunRuntime(v, d, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteRuntimePanels(&buf, "Figure 9", rt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MILP") {
+		t.Fatal("runtime rendering misses MILP")
+	}
+	series, err := RunFig6(Fig6Config{Scale: 2e-4, GridN: 4, Samples: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFig6(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CovType") {
+		t.Fatal("fig6 rendering misses dataset names")
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/ml"
+	"nimbus/internal/pricing"
+	"nimbus/internal/rng"
+)
+
+// ErrorTransformSeries is one panel of Figure 6: the expected error of a
+// model on one dataset as a function of 1/NCP, for one reporting loss.
+type ErrorTransformSeries struct {
+	Dataset string    `json:"dataset"`
+	Model   string    `json:"model"`
+	Loss    string    `json:"loss"`
+	Xs      []float64 `json:"xs"`
+	Errs    []float64 `json:"errs"`
+}
+
+// Fig6Config controls the Figure 6 reproduction.
+type Fig6Config struct {
+	// Scale scales the Table 3 dataset sizes; 0 means 1e-3 (laptop scale).
+	Scale float64
+	// GridN is the number of 1/NCP grid points; 0 means 20.
+	GridN int
+	// Samples is the Monte-Carlo model count per grid point; 0 means 200
+	// (the paper uses 2000; the shape converges much earlier).
+	Samples int
+	// Seed drives dataset generation and the Monte Carlo.
+	Seed int64
+}
+
+// RunFig6 trains the paper's model on each of the six Table 3 datasets and
+// measures the expected test error against 1/NCP under every reporting loss
+// of Table 2: square loss for the regression datasets (row 1 of the
+// figure), logistic loss (row 2) and 0/1 error (row 3) for the
+// classification datasets.
+func RunFig6(cfg Fig6Config) ([]ErrorTransformSeries, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1e-3
+	}
+	if cfg.GridN == 0 {
+		cfg.GridN = 20
+	}
+	if cfg.Samples == 0 {
+		cfg.Samples = 200
+	}
+	pairs, err := dataset.Suite(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed + 1)
+	grid := pricing.DefaultGrid(cfg.GridN)
+
+	var out []ErrorTransformSeries
+	for _, pair := range pairs {
+		var model ml.Model
+		switch pair.Train.Task {
+		case dataset.Regression:
+			model = ml.LinearRegression{Ridge: 1e-4}
+		case dataset.Classification:
+			model = ml.LogisticRegression{Ridge: 1e-4}
+		}
+		optimal, err := model.Fit(pair.Train)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig6 %s: %w", pair.Name, err)
+		}
+		for _, loss := range ml.DefaultReportLosses(model) {
+			curve, err := pricing.MonteCarloTransform(pricing.TransformConfig{
+				Optimal: optimal,
+				Loss:    loss,
+				Data:    pair.Test,
+				Xs:      grid,
+				Samples: cfg.Samples,
+				Seed:    src.Int63(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig6 %s/%s: %w", pair.Name, loss.Name(), err)
+			}
+			out = append(out, ErrorTransformSeries{
+				Dataset: pair.Name,
+				Model:   model.Name(),
+				Loss:    loss.Name(),
+				Xs:      curve.Xs,
+				Errs:    curve.Errs,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RunTable3 generates the six datasets and reports their statistics.
+func RunTable3(scale float64, seed int64) ([]dataset.Stats, error) {
+	if scale == 0 {
+		scale = 1e-3
+	}
+	pairs, err := dataset.Suite(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	stats := make([]dataset.Stats, len(pairs))
+	for i, p := range pairs {
+		stats[i] = p.Stats()
+	}
+	return stats, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+func TestMechanismAblationCurvesCoincide(t *testing.T) {
+	series, err := RunMechanismAblation(300, 6, 800, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("%d series", len(series))
+	}
+	names := map[string]bool{}
+	for _, s := range series {
+		names[s.Mechanism] = true
+		// Each is monotone decreasing.
+		for i := 1; i < len(s.Errs); i++ {
+			if s.Errs[i] > s.Errs[i-1]+1e-12 {
+				t.Fatalf("%s not monotone", s.Mechanism)
+			}
+		}
+	}
+	for _, want := range []string{"gaussian", "laplace", "uniform"} {
+		if !names[want] {
+			t.Fatalf("missing mechanism %s", want)
+		}
+	}
+	// Equal-variance mechanisms give the same expected squared loss; 800
+	// Monte-Carlo samples keep the spread within a few percent.
+	if spread := MaxMechanismSpread(series); spread > 0.08 {
+		t.Fatalf("mechanism spread %v", spread)
+	}
+}
+
+func TestMaxMechanismSpreadEdgeCases(t *testing.T) {
+	if MaxMechanismSpread(nil) != 0 {
+		t.Fatal("nil series")
+	}
+	one := []MechanismSeries{{Mechanism: "g", Xs: []float64{1}, Errs: []float64{1}}}
+	if MaxMechanismSpread(one) != 0 {
+		t.Fatal("single series")
+	}
+	two := []MechanismSeries{
+		{Mechanism: "a", Xs: []float64{1}, Errs: []float64{1}},
+		{Mechanism: "b", Xs: []float64{1}, Errs: []float64{1.5}},
+	}
+	if got := MaxMechanismSpread(two); got != 0.5 {
+		t.Fatalf("spread %v, want 0.5", got)
+	}
+}

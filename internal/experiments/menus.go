@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nimbus/internal/opt"
+)
+
+// Menu-size study: how much revenue does a short storefront menu retain
+// compared with the full price grid? This extends the paper's
+// number-of-price-values axis (Figures 9/10) from runtime to revenue.
+
+// MenuPoint is one entry of the retention curve.
+type MenuPoint struct {
+	K               int     `json:"k"`
+	RolledUpRevenue float64 `json:"rolled_up_revenue"`
+	FullRevenue     float64 `json:"full_revenue"`
+	Retention       float64 `json:"retention"`
+}
+
+// RunMenuStudy compresses a (value, demand) workload to each menu size.
+func RunMenuStudy(valueName, demandName string, gridN int, ks []int) ([]MenuPoint, error) {
+	value, err := ValueCurve(valueName)
+	if err != nil {
+		return nil, err
+	}
+	demand, err := DemandCurve(demandName)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := GridPoints(value, demand, gridN)
+	if err != nil {
+		return nil, err
+	}
+	prob, err := opt.NewProblem(pts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MenuPoint, 0, len(ks))
+	for _, k := range ks {
+		c, err := opt.CompressMenu(prob, k)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: menu k=%d: %w", k, err)
+		}
+		out = append(out, MenuPoint{
+			K:               len(c.Points),
+			RolledUpRevenue: c.RolledUpRevenue,
+			FullRevenue:     c.FullRevenue,
+			Retention:       c.Retention(),
+		})
+	}
+	return out, nil
+}
+
+// WriteMenuStudy renders the retention curve.
+func WriteMenuStudy(w io.Writer, title string, points []MenuPoint) error {
+	if _, err := fmt.Fprintf(w, "%s\n%6s %16s %16s %10s\n", title, "k", "menu revenue", "full revenue", "retention"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%6d %16.4f %16.4f %9.1f%%\n",
+			p.K, p.RolledUpRevenue, p.FullRevenue, 100*p.Retention); err != nil {
+			return err
+		}
+	}
+	return nil
+}

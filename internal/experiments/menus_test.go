@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunMenuStudy(t *testing.T) {
+	points, err := RunMenuStudy("concave", "uniform", 30, []int{1, 3, 6, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("%d points", len(points))
+	}
+	// Full menu retains everything.
+	if points[3].Retention != 1 {
+		t.Fatalf("full menu retention %v", points[3].Retention)
+	}
+	// A handful of versions already captures most of a concave market.
+	if points[1].Retention < 0.6 {
+		t.Fatalf("k=3 retention %v", points[1].Retention)
+	}
+	// All entries reference the same full-menu ceiling.
+	for _, p := range points[1:] {
+		if p.FullRevenue != points[0].FullRevenue {
+			t.Fatalf("inconsistent full revenue: %+v", points)
+		}
+	}
+}
+
+func TestRunMenuStudyUnknownCurve(t *testing.T) {
+	if _, err := RunMenuStudy("??", "uniform", 10, []int{1}); err == nil {
+		t.Fatal("unknown value curve accepted")
+	}
+	if _, err := RunMenuStudy("convex", "??", 10, []int{1}); err == nil {
+		t.Fatal("unknown demand curve accepted")
+	}
+}
+
+func TestWriteMenuStudy(t *testing.T) {
+	points, err := RunMenuStudy("linear", "uniform", 10, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMenuStudy(&buf, "Menu study", points); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "retention") || !strings.Contains(out, "%") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}

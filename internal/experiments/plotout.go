@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nimbus/internal/plot"
+)
+
+// Terminal-chart renderers for the figure experiments
+// (`nimbus-bench -format plot`).
+
+// PlotFig6 renders the error-transformation curves as one chart per
+// reporting loss, overlaying the datasets — the terminal version of the
+// paper's 3×3 panel grid.
+func PlotFig6(w io.Writer, series []ErrorTransformSeries) error {
+	byLoss := map[string][]ErrorTransformSeries{}
+	var order []string
+	for _, s := range series {
+		if _, seen := byLoss[s.Loss]; !seen {
+			order = append(order, s.Loss)
+		}
+		byLoss[s.Loss] = append(byLoss[s.Loss], s)
+	}
+	for _, loss := range order {
+		var ps []plot.Series
+		for _, s := range byLoss[loss] {
+			ps = append(ps, plot.Series{Name: s.Dataset, Xs: s.Xs, Ys: s.Errs})
+		}
+		err := plot.Render(w, plot.Config{
+			Title:  fmt.Sprintf("Figure 6: expected %s error vs 1/NCP", loss),
+			XLabel: "1/NCP",
+			YLabel: "expected error",
+		}, ps...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// PlotRuntime renders a Figure 9/10-style log-scale runtime chart: one
+// series per method over the number of price points.
+func PlotRuntime(w io.Writer, title string, panels []RuntimePanel) error {
+	byMethod := map[string]*plot.Series{}
+	var order []string
+	for _, p := range panels {
+		for _, r := range p.Results {
+			s, ok := byMethod[r.Method]
+			if !ok {
+				s = &plot.Series{Name: r.Method}
+				byMethod[r.Method] = s
+				order = append(order, r.Method)
+			}
+			sec := r.Seconds
+			if sec <= 0 {
+				sec = 1e-9 // clock resolution floor keeps the log axis valid
+			}
+			s.Xs = append(s.Xs, float64(p.N))
+			s.Ys = append(s.Ys, sec)
+		}
+	}
+	ps := make([]plot.Series, 0, len(order))
+	for _, m := range order {
+		ps = append(ps, *byMethod[m])
+	}
+	return plot.Render(w, plot.Config{
+		Title:  title,
+		XLabel: "number of price points",
+		YLabel: "runtime seconds",
+		LogY:   true,
+	}, ps...)
+}
+
+// PlotPriceCurves renders the Figure 7/8 price panels: the per-method knot
+// prices over the quality axis for each workload.
+func PlotPriceCurves(w io.Writer, panels []RevenuePanel) error {
+	for _, p := range panels {
+		xs := make([]float64, len(p.Points))
+		vals := make([]float64, len(p.Points))
+		for i, pt := range p.Points {
+			xs[i] = pt.X
+			vals[i] = pt.Value
+		}
+		ps := []plot.Series{{Name: "buyer value", Xs: xs, Ys: vals}}
+		for _, r := range p.Results {
+			ps = append(ps, plot.Series{Name: r.Method, Xs: xs, Ys: r.Prices})
+		}
+		err := plot.Render(w, plot.Config{
+			Title:  fmt.Sprintf("prices: value=%s demand=%s", p.ValueCurve, p.DemandCurve),
+			XLabel: "quality 1/NCP",
+			YLabel: "price",
+		}, ps...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"nimbus/internal/opt"
+	"nimbus/internal/rng"
+)
+
+// Population simulation: an end-to-end validation that the expected revenue
+// the DP optimizes for is what a stream of simulated buyers actually pays.
+// Each simulated buyer samples a desired version from the demand
+// distribution and purchases it iff the posted price is within their
+// valuation — exactly the T_BV buying model of Section 5.
+
+// PopulationResult summarizes one simulation run.
+type PopulationResult struct {
+	Buyers          int     `json:"buyers"`
+	Sales           int     `json:"sales"`
+	RealizedRevenue float64 `json:"realized_revenue"`
+	ExpectedRevenue float64 `json:"expected_revenue"` // per unit mass × buyers
+	RelativeError   float64 `json:"relative_error"`
+	RealizedAfford  float64 `json:"realized_affordability"`
+	ExpectedAfford  float64 `json:"expected_affordability"`
+}
+
+// SimulatePopulation draws buyers from the problem's demand distribution
+// and sells to them with the given pricing function.
+func SimulatePopulation(p *opt.Problem, price func(float64) float64, buyers int, src *rng.Source) (*PopulationResult, error) {
+	if buyers <= 0 {
+		return nil, fmt.Errorf("experiments: need a positive buyer count, got %d", buyers)
+	}
+	pts := p.Points()
+	var total float64
+	for _, pt := range pts {
+		total += pt.Mass
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("experiments: zero total demand mass")
+	}
+	// Cumulative distribution over versions.
+	cum := make([]float64, len(pts))
+	run := 0.0
+	for i, pt := range pts {
+		run += pt.Mass / total
+		cum[i] = run
+	}
+
+	var revenue float64
+	sales := 0
+	for b := 0; b < buyers; b++ {
+		u := src.Float64()
+		idx := len(pts) - 1
+		for i, c := range cum {
+			if u <= c {
+				idx = i
+				break
+			}
+		}
+		want := pts[idx]
+		if cost := price(want.X); cost <= want.Value+1e-9 {
+			revenue += cost
+			sales++
+		}
+	}
+	return &PopulationResult{
+		Buyers:          buyers,
+		Sales:           sales,
+		RealizedRevenue: revenue,
+		ExpectedRevenue: p.Revenue(price) / total * float64(buyers),
+		RelativeError:   relErr(revenue, p.Revenue(price)/total*float64(buyers)),
+		RealizedAfford:  float64(sales) / float64(buyers),
+		ExpectedAfford:  p.Affordability(price),
+	}, nil
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// RunPopulation builds the (value, demand) workload, prices it with the
+// DP, and simulates the buyer stream.
+func RunPopulation(valueName, demandName string, gridN, buyers int, seed int64) (*PopulationResult, error) {
+	value, err := ValueCurve(valueName)
+	if err != nil {
+		return nil, err
+	}
+	demand, err := DemandCurve(demandName)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := GridPoints(value, demand, gridN)
+	if err != nil {
+		return nil, err
+	}
+	prob, err := opt.NewProblem(pts)
+	if err != nil {
+		return nil, err
+	}
+	f, _, err := opt.MaximizeRevenueDP(prob)
+	if err != nil {
+		return nil, err
+	}
+	return SimulatePopulation(prob, f.Price, buyers, rng.New(seed))
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"nimbus/internal/opt"
+	"nimbus/internal/rng"
+)
+
+func TestSimulatePopulationValidation(t *testing.T) {
+	v, _ := ValueCurve("linear")
+	d, _ := DemandCurve("uniform")
+	pts, err := GridPoints(v, d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := opt.NewProblem(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulatePopulation(prob, func(float64) float64 { return 1 }, 0, rng.New(1)); err == nil {
+		t.Fatal("zero buyers accepted")
+	}
+}
+
+func TestSimulatePopulationConvergesToExpectation(t *testing.T) {
+	res, err := RunPopulation("sigmoid", "center", 50, 200000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelativeError > 0.02 {
+		t.Fatalf("realized revenue %v vs expected %v (rel %v)",
+			res.RealizedRevenue, res.ExpectedRevenue, res.RelativeError)
+	}
+	if math.Abs(res.RealizedAfford-res.ExpectedAfford) > 0.02 {
+		t.Fatalf("realized affordability %v vs expected %v", res.RealizedAfford, res.ExpectedAfford)
+	}
+	if res.Sales == 0 || res.Sales > res.Buyers {
+		t.Fatalf("sales %d of %d", res.Sales, res.Buyers)
+	}
+}
+
+func TestSimulatePopulationFreePricesSellToAll(t *testing.T) {
+	v, _ := ValueCurve("convex")
+	d, _ := DemandCurve("uniform")
+	pts, err := GridPoints(v, d, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := opt.NewProblem(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulatePopulation(prob, func(float64) float64 { return 0 }, 5000, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sales != res.Buyers || res.RealizedRevenue != 0 {
+		t.Fatalf("free prices: %+v", res)
+	}
+}
+
+func TestSimulatePopulationImpossiblePrices(t *testing.T) {
+	v, _ := ValueCurve("convex")
+	d, _ := DemandCurve("uniform")
+	pts, err := GridPoints(v, d, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := opt.NewProblem(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulatePopulation(prob, func(float64) float64 { return 1e9 }, 5000, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sales != 0 || res.RealizedRevenue != 0 {
+		t.Fatalf("unaffordable prices: %+v", res)
+	}
+}
+
+func TestRunPopulationUnknownCurves(t *testing.T) {
+	if _, err := RunPopulation("??", "uniform", 10, 100, 1); err == nil {
+		t.Fatal("unknown value curve accepted")
+	}
+	if _, err := RunPopulation("convex", "??", 10, 100, 1); err == nil {
+		t.Fatal("unknown demand curve accepted")
+	}
+}

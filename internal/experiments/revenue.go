@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"nimbus/internal/opt"
+	"nimbus/internal/pricing"
+)
+
+// MethodResult is one bar of a revenue/affordability panel: how a pricing
+// method performed on one buyer-curve workload.
+type MethodResult struct {
+	Method        string    `json:"method"`
+	Revenue       float64   `json:"revenue"`
+	Affordability float64   `json:"affordability"`
+	Seconds       float64   `json:"seconds"`
+	Prices        []float64 `json:"prices"` // knot prices over the quality grid
+}
+
+// MethodNames lists the comparison order used throughout the figures.
+var MethodNames = []string{"MBP", "Lin", "MaxC", "MedC", "OptC"}
+
+// CompareMethods prices the problem with MBP (the DP) and the four
+// baselines, optionally also the exact exponential MILP search, timing each
+// solver. This is the engine behind Figures 7–14.
+func CompareMethods(p *opt.Problem, includeMILP bool) ([]MethodResult, error) {
+	var out []MethodResult
+	knots := func(price func(float64) float64) []float64 {
+		zs := make([]float64, p.N())
+		for i, pt := range p.Points() {
+			zs[i] = price(pt.X)
+		}
+		return zs
+	}
+
+	start := time.Now()
+	dpFunc, _, err := opt.MaximizeRevenueDP(p)
+	dpTime := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: MBP: %w", err)
+	}
+	out = append(out, MethodResult{
+		Method:        "MBP",
+		Revenue:       p.Revenue(dpFunc.Price),
+		Affordability: p.Affordability(dpFunc.Price),
+		Seconds:       dpTime.Seconds(),
+		Prices:        knots(dpFunc.Price),
+	})
+
+	baselines := []struct {
+		name  string
+		build func(*opt.Problem) (*pricing.Function, error)
+	}{
+		{"Lin", opt.Lin},
+		{"MaxC", opt.MaxC},
+		{"MedC", opt.MedC},
+		{"OptC", opt.OptC},
+	}
+	for _, b := range baselines {
+		start := time.Now()
+		f, err := b.build(p)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", b.name, err)
+		}
+		out = append(out, MethodResult{
+			Method:        b.name,
+			Revenue:       p.Revenue(f.Price),
+			Affordability: p.Affordability(f.Price),
+			Seconds:       elapsed.Seconds(),
+			Prices:        knots(f.Price),
+		})
+	}
+
+	if includeMILP {
+		start := time.Now()
+		prices, rev, err := opt.MaximizeRevenueBruteForce(p)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: MILP: %w", err)
+		}
+		aff := 0.0
+		var total float64
+		for i, pt := range p.Points() {
+			total += pt.Mass
+			if prices[i] <= pt.Value+1e-9 {
+				aff += pt.Mass
+			}
+		}
+		if total > 0 {
+			aff /= total
+		}
+		out = append(out, MethodResult{
+			Method:        "MILP",
+			Revenue:       rev,
+			Affordability: aff,
+			Seconds:       elapsed.Seconds(),
+			Prices:        prices,
+		})
+	}
+	return out, nil
+}
+
+// RevenuePanel is one column of Figures 7/8/11/12: a (value, demand)
+// workload with the per-method outcomes and the MBP gain multipliers.
+type RevenuePanel struct {
+	ValueCurve  string           `json:"value_curve"`
+	DemandCurve string           `json:"demand_curve"`
+	Points      []opt.BuyerPoint `json:"points"`
+	Results     []MethodResult   `json:"results"`
+}
+
+// Gain returns MBP's multiplier over the named method for the given metric
+// ("revenue" or "affordability"), the headline numbers of Figures 7/8
+// ("up to 81.2x revenue gains and up to 121.1x affordability gains").
+func (p *RevenuePanel) Gain(method, metric string) (float64, error) {
+	var mbp, other float64
+	found := false
+	for _, r := range p.Results {
+		var v float64
+		switch metric {
+		case "revenue":
+			v = r.Revenue
+		case "affordability":
+			v = r.Affordability
+		default:
+			return 0, fmt.Errorf("experiments: unknown metric %q", metric)
+		}
+		if r.Method == "MBP" {
+			mbp = v
+		}
+		if r.Method == method {
+			other = v
+			found = true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("experiments: method %q not in panel", method)
+	}
+	if other == 0 {
+		if mbp == 0 {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("experiments: %s has zero %s; gain unbounded", method, metric)
+	}
+	return mbp / other, nil
+}
+
+// RunRevenueGain runs the Figure 7/8-style study: one panel per
+// (value, demand) combination over an n-point quality grid.
+func RunRevenueGain(values, demands []CurveSpec, n int) ([]RevenuePanel, error) {
+	var panels []RevenuePanel
+	for _, v := range values {
+		for _, d := range demands {
+			pts, err := GridPoints(v, d, n)
+			if err != nil {
+				return nil, err
+			}
+			prob, err := opt.NewProblem(pts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", v.Name, d.Name, err)
+			}
+			results, err := CompareMethods(prob, false)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", v.Name, d.Name, err)
+			}
+			panels = append(panels, RevenuePanel{
+				ValueCurve:  v.Name,
+				DemandCurve: d.Name,
+				Points:      pts,
+				Results:     results,
+			})
+		}
+	}
+	return panels, nil
+}
+
+// RuntimePanel is one x-axis position of Figures 9/10/13/14: the solver
+// outcomes at a given number of price points.
+type RuntimePanel struct {
+	N       int            `json:"n"`
+	Results []MethodResult `json:"results"`
+}
+
+// RunRuntime runs the Figure 9/10-style study for one (value, demand) pair:
+// sweep the number of price points and time every method including the
+// exact MILP search.
+func RunRuntime(value, demand CurveSpec, ns []int) ([]RuntimePanel, error) {
+	var panels []RuntimePanel
+	for _, n := range ns {
+		pts, err := GridPoints(value, demand, n)
+		if err != nil {
+			return nil, err
+		}
+		prob, err := opt.NewProblem(pts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: n=%d: %w", n, err)
+		}
+		results, err := CompareMethods(prob, n <= 14)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: n=%d: %w", n, err)
+		}
+		panels = append(panels, RuntimePanel{N: n, Results: results})
+	}
+	return panels, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nimbus/internal/dataset"
+)
+
+// The writers render each experiment in the layout of the paper's tables
+// and figure annotations, so `nimbus-bench` output can be eyeballed against
+// the original.
+
+// WriteTable3 renders the dataset-statistics table.
+func WriteTable3(w io.Writer, stats []dataset.Stats) error {
+	if _, err := fmt.Fprintf(w, "Table 3: Dataset Statistics\n%-10s %-14s %10s %10s %6s\n",
+		"DataSet", "Task", "n1", "n2", "d"); err != nil {
+		return err
+	}
+	for _, s := range stats {
+		if _, err := fmt.Fprintf(w, "%-10s %-14s %10d %10d %6d\n", s.Name, s.Task, s.N1, s.N2, s.D); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig6 renders the error-transformation series, one block per panel.
+func WriteFig6(w io.Writer, series []ErrorTransformSeries) error {
+	if _, err := fmt.Fprintln(w, "Figure 6: Error Transformation Curves (expected error vs 1/NCP)"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "\n%s / %s / %s loss\n  1/NCP:", s.Dataset, s.Model, s.Loss); err != nil {
+			return err
+		}
+		for _, x := range s.Xs {
+			if _, err := fmt.Fprintf(w, " %8.2f", x); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "\n  error:"); err != nil {
+			return err
+		}
+		for _, e := range s.Errs {
+			if _, err := fmt.Fprintf(w, " %8.4f", e); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRevenuePanels renders Figure 7/8-style panels with gain multipliers.
+func WriteRevenuePanels(w io.Writer, title string, panels []RevenuePanel) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	for _, p := range panels {
+		if _, err := fmt.Fprintf(w, "\nvalue=%s demand=%s (%d price points)\n", p.ValueCurve, p.DemandCurve, len(p.Points)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %-6s %12s %14s %10s\n", "method", "revenue", "affordability", "runtime"); err != nil {
+			return err
+		}
+		for _, r := range p.Results {
+			gainNote := ""
+			if r.Method != "MBP" {
+				if g, err := p.Gain(r.Method, "revenue"); err == nil {
+					gainNote = fmt.Sprintf("  (MBP gain %.1fx)", g)
+				}
+			}
+			if _, err := fmt.Fprintf(w, "  %-6s %12.4f %14.4f %9.2gs%s\n",
+				r.Method, r.Revenue, r.Affordability, r.Seconds, gainNote); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteRuntimePanels renders Figure 9/10-style sweeps.
+func WriteRuntimePanels(w io.Writer, title string, panels []RuntimePanel) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%4s %-6s %14s %12s %14s\n", "n", "method", "runtime(s)", "revenue", "affordability"); err != nil {
+		return err
+	}
+	for _, p := range panels {
+		for _, r := range p.Results {
+			if _, err := fmt.Fprintf(w, "%4d %-6s %14.3g %12.4f %14.4f\n",
+				p.N, r.Method, r.Seconds, r.Revenue, r.Affordability); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFig5 renders the worked example.
+func WriteFig5(w io.Writer, results []Fig5Result) error {
+	if _, err := fmt.Fprintln(w, "Figure 5: Revenue optimization example (a=1..4, b=0.25, v=100/150/280/350)"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		flag := "arbitrage-free"
+		if !r.ArbitrageFree {
+			flag = "HAS ARBITRAGE"
+		}
+		if _, err := fmt.Fprintf(w, "  %-14s prices=%v revenue=%.2f [%s]\n", r.Method, r.Prices, r.Revenue, flag); err != nil {
+			return err
+		}
+	}
+	return nil
+}

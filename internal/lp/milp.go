@@ -1,0 +1,133 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// MILP is a mixed-integer linear program: a Problem plus a set of variables
+// constrained to integer values. SolveMILP runs LP-relaxation branch-and-
+// bound, branching on the most fractional integer variable.
+type MILP struct {
+	*Problem
+	intVars map[int]bool
+	// MaxNodes bounds the search; 0 means the default (100k nodes).
+	MaxNodes int
+}
+
+// NewMILP wraps a problem for mixed-integer solving.
+func NewMILP(p *Problem) *MILP {
+	return &MILP{Problem: p, intVars: make(map[int]bool)}
+}
+
+// SetInteger marks variable v as integer-constrained.
+func (m *MILP) SetInteger(v int) {
+	m.intVars[v] = true
+}
+
+const intTol = 1e-6
+
+// SolveMILP performs branch and bound and returns the best integer-feasible
+// solution found. It returns Infeasible status if no integer point exists.
+func (m *MILP) SolveMILP() (*Solution, error) {
+	maxNodes := m.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 100000
+	}
+	sign := 1.0
+	if m.Maximize {
+		sign = -1
+	}
+
+	type node struct {
+		lower map[int]float64 // v ≥ bound
+		upper map[int]float64 // v ≤ bound
+	}
+	var best *Solution
+	bestObj := math.Inf(1) // in minimization sense
+
+	stack := []node{{lower: map[int]float64{}, upper: map[int]float64{}}}
+	nodes := 0
+	for len(stack) > 0 {
+		nodes++
+		if nodes > maxNodes {
+			return nil, fmt.Errorf("lp: branch-and-bound node limit %d exceeded", maxNodes)
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		rel := m.relaxation(nd.lower, nd.upper)
+		sol, err := rel.Solve()
+		if err != nil {
+			if sol != nil && sol.Status == Infeasible {
+				continue // prune
+			}
+			return nil, err
+		}
+		relObj := sign * sol.Objective
+		if relObj >= bestObj-1e-12 {
+			continue // bound prune
+		}
+		// Find most fractional integer variable.
+		branchVar, frac := -1, 0.0
+		for v := range m.intVars {
+			f := sol.X[v] - math.Floor(sol.X[v])
+			dist := math.Min(f, 1-f)
+			if dist > intTol && dist > frac {
+				frac = dist
+				branchVar = v
+			}
+		}
+		if branchVar < 0 {
+			// Integer feasible.
+			if relObj < bestObj {
+				bestObj = relObj
+				rounded := append([]float64(nil), sol.X...)
+				for v := range m.intVars {
+					rounded[v] = math.Round(rounded[v])
+				}
+				best = &Solution{Status: Optimal, X: rounded, Objective: sol.Objective}
+			}
+			continue
+		}
+		val := sol.X[branchVar]
+		down := node{lower: cloneBounds(nd.lower), upper: cloneBounds(nd.upper)}
+		down.upper[branchVar] = math.Floor(val)
+		up := node{lower: cloneBounds(nd.lower), upper: cloneBounds(nd.upper)}
+		up.lower[branchVar] = math.Ceil(val)
+		stack = append(stack, down, up)
+	}
+	if best == nil {
+		return &Solution{Status: Infeasible}, fmt.Errorf("lp: MILP infeasible: %w", ErrNotOptimal)
+	}
+	return best, nil
+}
+
+// relaxation builds the LP with the node's variable bound cuts appended.
+func (m *MILP) relaxation(lower, upper map[int]float64) *Problem {
+	rel := &Problem{Maximize: m.Maximize}
+	rel.obj = append([]float64(nil), m.obj...)
+	rel.cons = make([]constraint, len(m.cons), len(m.cons)+len(lower)+len(upper))
+	for i, c := range m.cons {
+		rel.cons[i] = constraint{coeffs: append([]float64(nil), c.coeffs...), op: c.op, rhs: c.rhs}
+	}
+	for v, b := range lower {
+		row := make([]float64, len(rel.obj))
+		row[v] = 1
+		rel.cons = append(rel.cons, constraint{coeffs: row, op: GE, rhs: b})
+	}
+	for v, b := range upper {
+		row := make([]float64, len(rel.obj))
+		row[v] = 1
+		rel.cons = append(rel.cons, constraint{coeffs: row, op: LE, rhs: b})
+	}
+	return rel
+}
+
+func cloneBounds(b map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"nimbus/internal/pricing"
+	"nimbus/internal/rng"
+)
+
+// Broker mediates between sellers and buyers: it lists offerings, serves
+// price–error curves, and executes purchases by perturbing the pre-trained
+// optimal instance — no retraining per sale, which is what makes the
+// marketplace real-time (Section 1, "Our Solution").
+//
+// A Broker is safe for concurrent use.
+type Broker struct {
+	mu         sync.RWMutex
+	offerings  map[string]*Offering
+	src        *rng.Locked
+	sales      []Purchase
+	commission float64
+}
+
+// Purchase is a completed sale: the sold instance plus its receipt.
+type Purchase struct {
+	// Offering and Loss identify what was bought.
+	Offering string  `json:"offering"`
+	Loss     string  `json:"loss"`
+	X        float64 `json:"x"`     // purchased quality (1/NCP)
+	NCP      float64 `json:"ncp"`   // noise control parameter δ
+	Price    float64 `json:"price"` // amount charged
+	// BrokerFee is the broker's commission (Figure 1: the broker "gets a
+	// cut from the seller for each sale"); SellerProceeds is the rest.
+	BrokerFee      float64 `json:"broker_fee"`
+	SellerProceeds float64 `json:"seller_proceeds"`
+	// ExpectedError is the curve's expected reporting error at X.
+	ExpectedError float64 `json:"expected_error"`
+	// Weights is the noisy model instance delivered to the buyer.
+	Weights []float64 `json:"weights"`
+}
+
+// ErrUnknownOffering is wrapped when a buyer names an unlisted offering.
+var ErrUnknownOffering = errors.New("market: unknown offering")
+
+// NewBroker returns an empty broker whose sale-time noise is seeded with
+// seed.
+func NewBroker(seed int64) *Broker {
+	return &Broker{
+		offerings: make(map[string]*Offering),
+		src:       rng.NewLocked(seed),
+	}
+}
+
+// SetCommission sets the broker's cut of every sale as a fraction in
+// [0, 1). It applies to subsequent purchases; existing ledger entries keep
+// the rate they were sold under.
+func (b *Broker) SetCommission(rate float64) error {
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("market: commission %v outside [0, 1)", rate)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.commission = rate
+	return nil
+}
+
+// List runs the full pipeline for a new offering and adds it to the menu.
+// The returned offering is also retrievable by name.
+func (b *Broker) List(cfg OfferingConfig) (*Offering, error) {
+	o, err := newOffering(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.offerings[o.Name]; dup {
+		return nil, fmt.Errorf("market: offering %s already listed", o.Name)
+	}
+	b.offerings[o.Name] = o
+	return o, nil
+}
+
+// Menu returns the listed offering names, sorted.
+func (b *Broker) Menu() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	names := make([]string, 0, len(b.offerings))
+	for name := range b.offerings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Offering looks up a listed offering by name.
+func (b *Broker) Offering(name string) (*Offering, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	o, ok := b.offerings[name]
+	if !ok {
+		return nil, fmt.Errorf("market: %q: %w", name, ErrUnknownOffering)
+	}
+	return o, nil
+}
+
+// BuyAtQuality executes the buyer's first option: purchase the version at
+// quality x on the (offering, loss) curve.
+func (b *Broker) BuyAtQuality(offering, loss string, x float64) (*Purchase, error) {
+	o, err := b.Offering(offering)
+	if err != nil {
+		return nil, err
+	}
+	c, err := o.Curve(loss)
+	if err != nil {
+		return nil, err
+	}
+	return b.finalize(o, loss, c.PointAt(x))
+}
+
+// BuyWithErrorBudget executes the buyer's second option: the cheapest
+// version whose expected error is at most budget.
+func (b *Broker) BuyWithErrorBudget(offering, loss string, budget float64) (*Purchase, error) {
+	o, err := b.Offering(offering)
+	if err != nil {
+		return nil, err
+	}
+	c, err := o.Curve(loss)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := c.PointForErrorBudget(budget)
+	if err != nil {
+		return nil, err
+	}
+	return b.finalize(o, loss, pt)
+}
+
+// BuyWithPriceBudget executes the buyer's third option: the most accurate
+// version whose price is within budget.
+func (b *Broker) BuyWithPriceBudget(offering, loss string, budget float64) (*Purchase, error) {
+	o, err := b.Offering(offering)
+	if err != nil {
+		return nil, err
+	}
+	c, err := o.Curve(loss)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := c.PointForPriceBudget(budget)
+	if err != nil {
+		return nil, err
+	}
+	return b.finalize(o, loss, pt)
+}
+
+// finalize samples the noisy instance with a fresh noise stream, records
+// the sale and returns the purchase.
+func (b *Broker) finalize(o *Offering, loss string, pt pricing.PriceErrorPoint) (*Purchase, error) {
+	if pt.X <= 0 {
+		return nil, fmt.Errorf("market: purchase at non-positive quality %v", pt.X)
+	}
+	delta := 1 / pt.X
+	weights := o.Mechanism.Perturb(o.Optimal, delta, b.src.Split())
+	b.mu.Lock()
+	fee := b.commission * pt.Price
+	p := Purchase{
+		Offering:       o.Name,
+		Loss:           loss,
+		X:              pt.X,
+		NCP:            delta,
+		Price:          pt.Price,
+		BrokerFee:      fee,
+		SellerProceeds: pt.Price - fee,
+		ExpectedError:  pt.Error,
+		Weights:        weights,
+	}
+	b.sales = append(b.sales, p)
+	b.mu.Unlock()
+	return &p, nil
+}
+
+// Payouts returns the seller proceeds accumulated per offering — what the
+// broker owes each seller after taking its cut.
+func (b *Broker) Payouts() map[string]float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make(map[string]float64)
+	for _, p := range b.sales {
+		out[p.Offering] += p.SellerProceeds
+	}
+	return out
+}
+
+// TotalFees sums the broker's commission earnings.
+func (b *Broker) TotalFees() float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var s float64
+	for _, p := range b.sales {
+		s += p.BrokerFee
+	}
+	return s
+}
+
+// Sales returns a copy of the sale ledger.
+func (b *Broker) Sales() []Purchase {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return append([]Purchase(nil), b.sales...)
+}
+
+// TotalRevenue sums the ledger.
+func (b *Broker) TotalRevenue() float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var s float64
+	for _, p := range b.sales {
+		s += p.Price
+	}
+	return s
+}

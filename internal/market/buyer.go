@@ -1,0 +1,64 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Buyer is the third agent of Figure 1: it holds a budget and buys model
+// instances from a broker, tracking what it spent and received.
+type Buyer struct {
+	// Name labels the buyer in receipts.
+	Name string
+	// Budget is the remaining money.
+	Budget float64
+
+	purchases []Purchase
+}
+
+// ErrInsufficientBudget is returned when a purchase would overdraw the
+// buyer.
+var ErrInsufficientBudget = errors.New("market: insufficient budget")
+
+// NewBuyer returns a buyer with the given budget.
+func NewBuyer(name string, budget float64) (*Buyer, error) {
+	if budget < 0 {
+		return nil, fmt.Errorf("market: negative budget %v", budget)
+	}
+	return &Buyer{Name: name, Budget: budget}, nil
+}
+
+// pay debits the budget and records the purchase.
+func (b *Buyer) pay(p *Purchase, err error) (*Purchase, error) {
+	if err != nil {
+		return nil, err
+	}
+	if p.Price > b.Budget+1e-9 {
+		return nil, fmt.Errorf("market: %s needs %v but has %v: %w", b.Name, p.Price, b.Budget, ErrInsufficientBudget)
+	}
+	b.Budget -= p.Price
+	b.purchases = append(b.purchases, *p)
+	return p, nil
+}
+
+// BuyAtQuality purchases the version at quality x, debiting the budget.
+func (b *Buyer) BuyAtQuality(broker *Broker, offering, loss string, x float64) (*Purchase, error) {
+	return b.pay(broker.BuyAtQuality(offering, loss, x))
+}
+
+// BuyWithErrorBudget purchases the cheapest version meeting the error
+// budget, debiting the buyer's budget.
+func (b *Buyer) BuyWithErrorBudget(broker *Broker, offering, loss string, errBudget float64) (*Purchase, error) {
+	return b.pay(broker.BuyWithErrorBudget(offering, loss, errBudget))
+}
+
+// BuyBest spends (up to) the buyer's whole remaining budget on the most
+// accurate version it can afford.
+func (b *Buyer) BuyBest(broker *Broker, offering, loss string) (*Purchase, error) {
+	return b.pay(broker.BuyWithPriceBudget(offering, loss, b.Budget))
+}
+
+// Purchases returns the buyer's receipt history.
+func (b *Buyer) Purchases() []Purchase {
+	return append([]Purchase(nil), b.purchases...)
+}

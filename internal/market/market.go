@@ -1,0 +1,309 @@
+// Package market wires the Nimbus agents together: the seller who provides
+// a dataset and market research, the broker who trains the optimal model
+// once and sells noisy versions at arbitrage-free prices, and the buyer who
+// purchases through the three interaction options of Section 3.2.
+//
+// The end-to-end flow mirrors Figure 2 of the paper:
+//
+//	seller research (value/demand over error)
+//	  → error transformation (error ↔ 1/NCP)
+//	  → revenue optimization (DP over buyer points)
+//	  → price–error curve presented to buyers
+//	  → noisy model instance delivered per purchase.
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/ml"
+	"nimbus/internal/noise"
+	"nimbus/internal/opt"
+	"nimbus/internal/pricing"
+	"nimbus/internal/rng"
+)
+
+// Curve is a market-research curve: a value (monetary worth) or demand
+// (buyer mass) as a function of the expected model error.
+type Curve func(err float64) float64
+
+// Research is the seller's market research for one dataset: how much buyers
+// value a model at a given error, and how much buyer mass wants it.
+type Research struct {
+	// Value maps expected error to buyer valuation; it should be
+	// non-increasing in the error (better models are worth more).
+	Value Curve
+	// Demand maps expected error to buyer mass; any non-negative shape.
+	Demand Curve
+}
+
+// Seller owns a dataset pair and its market research.
+type Seller struct {
+	// Pair is the (Dtrain, Dtest) product for sale.
+	Pair *dataset.Pair
+	// Research drives the broker's price setting.
+	Research Research
+}
+
+// NewSeller validates and builds a seller.
+func NewSeller(pair *dataset.Pair, research Research) (*Seller, error) {
+	if pair == nil || pair.Train == nil || pair.Test == nil {
+		return nil, errors.New("market: seller needs a train/test pair")
+	}
+	if research.Value == nil || research.Demand == nil {
+		return nil, errors.New("market: seller needs value and demand curves")
+	}
+	return &Seller{Pair: pair, Research: research}, nil
+}
+
+// OfferingConfig configures one entry of the broker's menu.
+type OfferingConfig struct {
+	// Seller provides the data and research.
+	Seller *Seller
+	// Model is the ML model whose instances are sold. Leave nil with
+	// AutoSelect to let the broker cross-validate its menu and pick.
+	Model ml.Model
+	// AutoSelect, with a nil Model, cross-validates ml.DefaultCandidates
+	// for the dataset's task under the task's reporting loss and lists the
+	// winner — the paper's model-selection future-work item, in the broker.
+	AutoSelect bool
+	// SelectFolds is the CV fold count for AutoSelect (0 means 3).
+	SelectFolds int
+	// Mechanism injects noise; nil means Gaussian.
+	Mechanism noise.Mechanism
+	// Grid is the offered quality grid (x = 1/NCP); empty means the
+	// paper's grid of 100 points in [1, 100].
+	Grid []float64
+	// Samples is the Monte-Carlo sample count per grid point for the error
+	// transformation; 0 means 500. (The paper uses 2000; the default trades
+	// a little smoothness for setup latency, and the isotonic projection
+	// removes the extra jitter.)
+	Samples int
+	// Seed drives the error-transformation Monte Carlo.
+	Seed int64
+	// Strategy optionally overrides how prices are set from the buyer
+	// points; nil means the revenue-maximizing DP. Baselines like opt.OptC
+	// plug in here (the experiments use this for live A/B comparisons).
+	// Whatever the strategy returns must pass the SLA validation.
+	Strategy func(*opt.Problem) (*pricing.Function, error)
+	// ExtraLosses adds reporting error functions ε beyond the model's
+	// defaults (Table 2 allows the buyer to pick ε independently of the
+	// training loss λ); each gets its own price–error curve.
+	ExtraLosses []ml.Loss
+}
+
+// Offering is a sellable entry of the broker's menu: a model trained on a
+// dataset with its per-loss price–error curves and an arbitrage-free
+// pricing function.
+type Offering struct {
+	// Name identifies the offering ("<dataset>/<model>").
+	Name string
+	// Model and Pair describe what is being sold.
+	Model ml.Model
+	Pair  *dataset.Pair
+	// Mechanism is the noise mechanism used at sale time.
+	Mechanism noise.Mechanism
+	// Optimal is h*_λ(D), trained once when the offering is listed.
+	Optimal []float64
+	// PriceFunc is the revenue-optimized arbitrage-free pricing function
+	// over the quality axis.
+	PriceFunc *pricing.Function
+	// ExpectedRevenue is the DP's optimal objective on the research points.
+	ExpectedRevenue float64
+	// BuyerPoints are the transformed research points the prices were
+	// optimized against.
+	BuyerPoints []opt.BuyerPoint
+
+	curves    map[string]*pricing.PriceErrorCurve
+	lossOrder []string
+}
+
+// newOffering runs the full Figure 2 pipeline.
+func newOffering(cfg OfferingConfig) (*Offering, error) {
+	if cfg.Seller == nil {
+		return nil, errors.New("market: offering needs a seller")
+	}
+	if cfg.Model == nil && cfg.AutoSelect {
+		folds := cfg.SelectFolds
+		if folds == 0 {
+			folds = 3
+		}
+		train := cfg.Seller.Pair.Train
+		candidates := ml.DefaultCandidates(train.Task)
+		var selectLoss ml.Loss
+		switch train.Task {
+		case dataset.Regression:
+			selectLoss = ml.SquaredLoss{}
+		default:
+			selectLoss = ml.ZeroOneLoss{}
+		}
+		best, _, err := ml.SelectModel(train, candidates, selectLoss, folds, rng.New(cfg.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("market: auto-selecting model: %w", err)
+		}
+		cfg.Model = best
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("market: offering needs a model (or AutoSelect)")
+	}
+	mech := cfg.Mechanism
+	if mech == nil {
+		mech = noise.Gaussian{}
+	}
+	grid := cfg.Grid
+	if len(grid) == 0 {
+		grid = pricing.DefaultGrid(100)
+	}
+	samples := cfg.Samples
+	if samples == 0 {
+		samples = 500
+	}
+
+	pair := cfg.Seller.Pair
+	optimal, err := cfg.Model.Fit(pair.Train)
+	if err != nil {
+		return nil, fmt.Errorf("market: training optimal instance: %w", err)
+	}
+
+	// One error curve per supported reporting loss, estimated on the test
+	// set (the buyer may later pick any of them).
+	curves := make(map[string]*pricing.PriceErrorCurve)
+	losses := ml.DefaultReportLosses(cfg.Model)
+	for _, extra := range cfg.ExtraLosses {
+		dup := false
+		for _, l := range losses {
+			if l.Name() == extra.Name() {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			losses = append(losses, extra)
+		}
+	}
+	errCurves := make(map[string]*pricing.ErrorCurve, len(losses))
+	seed := cfg.Seed
+	for _, loss := range losses {
+		ec, err := pricing.MonteCarloTransform(pricing.TransformConfig{
+			Optimal:   optimal,
+			Loss:      loss,
+			Data:      pair.Test,
+			Mechanism: mech,
+			Xs:        grid,
+			Samples:   samples,
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("market: error transformation for %s: %w", loss.Name(), err)
+		}
+		errCurves[loss.Name()] = ec
+		seed++
+	}
+
+	// Transform the seller's research from the error axis to the quality
+	// axis using the primary (training-loss) error curve, then optimize.
+	primary := errCurves[cfg.Model.TrainLoss().Name()]
+	points := BuyerPointsFromResearch(primary, cfg.Seller.Research)
+	prob, err := opt.NewProblem(points)
+	if err != nil {
+		return nil, fmt.Errorf("market: building revenue problem: %w", err)
+	}
+	var priceFn *pricing.Function
+	var revenue float64
+	if cfg.Strategy != nil {
+		priceFn, err = cfg.Strategy(prob)
+		if err != nil {
+			return nil, fmt.Errorf("market: pricing strategy: %w", err)
+		}
+		revenue = prob.Revenue(priceFn.Price)
+	} else {
+		priceFn, revenue, err = opt.MaximizeRevenueDP(prob)
+		if err != nil {
+			return nil, fmt.Errorf("market: revenue optimization: %w", err)
+		}
+	}
+
+	name := pair.Name + "/" + cfg.Model.Name()
+	order := make([]string, len(losses))
+	for i, l := range losses {
+		order[i] = l.Name()
+	}
+	o := &Offering{
+		Name:            name,
+		Model:           cfg.Model,
+		Pair:            pair,
+		Mechanism:       mech,
+		Optimal:         optimal,
+		PriceFunc:       priceFn,
+		ExpectedRevenue: revenue,
+		BuyerPoints:     points,
+		curves:          curves,
+		lossOrder:       order,
+	}
+	for lossName, ec := range errCurves {
+		pec, err := pricing.NewPriceErrorCurve(cfg.Model.Name(), ec, priceFn)
+		if err != nil {
+			return nil, err
+		}
+		o.curves[lossName] = pec
+	}
+	if err := o.VerifySLA(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Curve returns the price–error curve for the given reporting loss.
+func (o *Offering) Curve(lossName string) (*pricing.PriceErrorCurve, error) {
+	c, ok := o.curves[lossName]
+	if !ok {
+		return nil, fmt.Errorf("market: offering %s has no loss %q (have %v)", o.Name, lossName, o.LossNames())
+	}
+	return c, nil
+}
+
+// LossNames lists the reporting losses the offering supports, defaults
+// first, in listing order.
+func (o *Offering) LossNames() []string {
+	return append([]string(nil), o.lossOrder...)
+}
+
+// VerifySLA checks the pricing desiderata of Section 3.3 (Definitions 1–5):
+// non-negativity and arbitrage-freeness of the pricing function.
+func (o *Offering) VerifySLA() error {
+	if o.PriceFunc == nil {
+		return errors.New("market: offering has no pricing function")
+	}
+	if err := o.PriceFunc.Validate(); err != nil {
+		return fmt.Errorf("market: SLA violation on %s: %w", o.Name, err)
+	}
+	for _, p := range o.PriceFunc.Points() {
+		if p.Price < 0 {
+			return fmt.Errorf("market: SLA violation on %s: negative price %v", o.Name, p.Price)
+		}
+	}
+	return nil
+}
+
+// BuyerPointsFromResearch transforms seller research from the error axis to
+// the quality axis (Figure 2(a)→(b)): for each offered quality x, evaluate
+// the expected error, then read value and demand off the research curves.
+// Valuations are monotonized upward to repair research noise.
+func BuyerPointsFromResearch(ec *pricing.ErrorCurve, research Research) []opt.BuyerPoint {
+	pts := make([]opt.BuyerPoint, len(ec.Xs))
+	for i, x := range ec.Xs {
+		e := ec.Errs[i]
+		v := research.Value(e)
+		m := research.Demand(e)
+		if v < 0 || math.IsNaN(v) {
+			v = 0
+		}
+		if m < 0 || math.IsNaN(m) {
+			m = 0
+		}
+		pts[i] = opt.BuyerPoint{X: x, Value: v, Mass: m}
+	}
+	return opt.Monotonize(pts)
+}

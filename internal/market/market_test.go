@@ -1,0 +1,467 @@
+package market
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/ml"
+	"nimbus/internal/opt"
+	"nimbus/internal/pricing"
+	"nimbus/internal/rng"
+	"nimbus/internal/vec"
+)
+
+// testResearch is a simple decreasing value curve with uniform demand.
+func testResearch() Research {
+	return Research{
+		Value:  func(e float64) float64 { return 100 / (1 + e) },
+		Demand: func(e float64) float64 { return 1 },
+	}
+}
+
+func regSeller(t *testing.T) *Seller {
+	t.Helper()
+	d, err := dataset.StandIn("CASP", dataset.GenConfig{Rows: 300, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := dataset.NewPair(d, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSeller(pair, testResearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func clsSeller(t *testing.T) *Seller {
+	t.Helper()
+	d := dataset.Simulated2(dataset.GenConfig{Rows: 400, Seed: 43})
+	pair, err := dataset.NewPair(d, rng.New(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSeller(pair, testResearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func listRegression(t *testing.T, b *Broker) *Offering {
+	t.Helper()
+	o, err := b.List(OfferingConfig{
+		Seller:  regSeller(t),
+		Model:   ml.LinearRegression{Ridge: 1e-3},
+		Grid:    pricing.DefaultGrid(20),
+		Samples: 100,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestNewSellerValidation(t *testing.T) {
+	if _, err := NewSeller(nil, testResearch()); err == nil {
+		t.Fatal("nil pair accepted")
+	}
+	s := regSeller(t)
+	if _, err := NewSeller(s.Pair, Research{}); err == nil {
+		t.Fatal("missing curves accepted")
+	}
+}
+
+func TestListValidation(t *testing.T) {
+	b := NewBroker(1)
+	if _, err := b.List(OfferingConfig{Model: ml.LinearRegression{}}); err == nil {
+		t.Fatal("nil seller accepted")
+	}
+	if _, err := b.List(OfferingConfig{Seller: regSeller(t)}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	// Task mismatch bubbles up from training.
+	if _, err := b.List(OfferingConfig{Seller: regSeller(t), Model: ml.LogisticRegression{}}); !errors.Is(err, ml.ErrTaskMismatch) {
+		t.Fatalf("want ErrTaskMismatch, got %v", err)
+	}
+}
+
+func TestListAndMenu(t *testing.T) {
+	b := NewBroker(2)
+	o := listRegression(t, b)
+	if o.Name != "CASP/linear-regression" {
+		t.Fatalf("offering name %q", o.Name)
+	}
+	menu := b.Menu()
+	if len(menu) != 1 || menu[0] != o.Name {
+		t.Fatalf("menu %v", menu)
+	}
+	if _, err := b.Offering(o.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Offering("nope"); !errors.Is(err, ErrUnknownOffering) {
+		t.Fatalf("want ErrUnknownOffering, got %v", err)
+	}
+	// Duplicate listing rejected.
+	if _, err := b.List(OfferingConfig{
+		Seller: regSeller(t), Model: ml.LinearRegression{Ridge: 1e-3},
+		Grid: pricing.DefaultGrid(20), Samples: 100, Seed: 7,
+	}); err == nil {
+		t.Fatal("duplicate listing accepted")
+	}
+}
+
+func TestOfferingPipeline(t *testing.T) {
+	b := NewBroker(3)
+	o := listRegression(t, b)
+	// The optimal instance really is near-optimal.
+	g := ml.SquaredLoss{Reg: 1e-3}.Grad(o.Optimal, o.Pair.Train)
+	if vec.Norm2(g) > 1e-5 {
+		t.Fatalf("optimal instance gradient norm %v", vec.Norm2(g))
+	}
+	// SLA: arbitrage-free prices.
+	if err := o.VerifySLA(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.PriceFunc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Buyer points are a valid problem and revenue matches the evaluation.
+	prob, err := opt.NewProblem(o.BuyerPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prob.Revenue(o.PriceFunc.Price); math.Abs(got-o.ExpectedRevenue) > 1e-6*(1+o.ExpectedRevenue) {
+		t.Fatalf("revenue %v vs expected %v", got, o.ExpectedRevenue)
+	}
+	// Supported losses.
+	if _, err := o.Curve("squared"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Curve("zero-one"); err == nil {
+		t.Fatal("regression offering must not expose zero-one")
+	}
+	if len(o.LossNames()) != 1 {
+		t.Fatalf("loss names %v", o.LossNames())
+	}
+}
+
+func TestClassificationOfferingSupportsZeroOne(t *testing.T) {
+	b := NewBroker(4)
+	o, err := b.List(OfferingConfig{
+		Seller:  clsSeller(t),
+		Model:   ml.LogisticRegression{Ridge: 1e-4},
+		Grid:    pricing.DefaultGrid(10),
+		Samples: 60,
+		Seed:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := o.LossNames()
+	if len(names) != 2 || names[0] != "logistic" || names[1] != "zero-one" {
+		t.Fatalf("loss names %v", names)
+	}
+	c, err := o.Curve("zero-one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := c.Points()
+	if pts[len(pts)-1].Error >= pts[0].Error {
+		t.Fatal("zero-one curve not decreasing")
+	}
+}
+
+func TestAutoSelectModel(t *testing.T) {
+	b := NewBroker(18)
+	o, err := b.List(OfferingConfig{
+		Seller:     clsSeller(t),
+		AutoSelect: true,
+		Grid:       pricing.DefaultGrid(8),
+		Samples:    40,
+		Seed:       19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Model == nil || o.Model.Task() != dataset.Classification {
+		t.Fatalf("selected model %v", o.Model)
+	}
+	if err := o.VerifySLA(); err != nil {
+		t.Fatal(err)
+	}
+	// Without AutoSelect, a nil model is still an error.
+	if _, err := b.List(OfferingConfig{Seller: regSeller(t)}); err == nil {
+		t.Fatal("nil model without AutoSelect accepted")
+	}
+}
+
+func TestExtraLossesAndStrategy(t *testing.T) {
+	b := NewBroker(14)
+	o, err := b.List(OfferingConfig{
+		Seller:      regSeller(t),
+		Model:       ml.LinearRegression{Ridge: 1e-3},
+		Grid:        pricing.DefaultGrid(12),
+		Samples:     60,
+		Seed:        15,
+		ExtraLosses: []ml.Loss{ml.SquaredLoss{Reg: 0.5}},
+		Strategy:    opt.OptC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The extra loss is deduplicated by name against the default "squared"
+	// loss, so the offering still has exactly one loss.
+	if names := o.LossNames(); len(names) != 1 {
+		t.Fatalf("loss names %v", names)
+	}
+	// A genuinely distinct extra loss gets a curve.
+	b2 := NewBroker(16)
+	o2, err := b2.List(OfferingConfig{
+		Seller:      clsSeller(t),
+		Model:       ml.LogisticRegression{Ridge: 1e-4},
+		Grid:        pricing.DefaultGrid(8),
+		Samples:     40,
+		Seed:        17,
+		ExtraLosses: []ml.Loss{ml.HingeLoss{Reg: 1e-4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := o2.LossNames()
+	if len(names) != 3 || names[2] != "hinge" {
+		t.Fatalf("loss names %v", names)
+	}
+	if _, err := o2.Curve("hinge"); err != nil {
+		t.Fatal(err)
+	}
+	// The custom OptC strategy really was used: the price function is a
+	// constant.
+	pts := o.PriceFunc.Points()
+	for _, p := range pts {
+		if p.Price != pts[0].Price {
+			t.Fatalf("OptC strategy should give constant prices: %v", pts)
+		}
+	}
+	if err := o.VerifySLA(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuyAtQuality(t *testing.T) {
+	b := NewBroker(5)
+	o := listRegression(t, b)
+	p, err := b.BuyAtQuality(o.Name, "squared", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.X != 10 || p.NCP != 0.1 {
+		t.Fatalf("purchase point %v / %v", p.X, p.NCP)
+	}
+	if len(p.Weights) != o.Pair.Train.D() {
+		t.Fatalf("weights dim %d", len(p.Weights))
+	}
+	if vec.MaxAbsDiff(p.Weights, o.Optimal) == 0 {
+		t.Fatal("noisy instance identical to optimal")
+	}
+	c, _ := o.Curve("squared")
+	if math.Abs(p.Price-c.PriceAt(10)) > 1e-9 {
+		t.Fatalf("price %v vs curve %v", p.Price, c.PriceAt(10))
+	}
+	// Ledger.
+	if len(b.Sales()) != 1 || b.TotalRevenue() != p.Price {
+		t.Fatalf("ledger %v, revenue %v", b.Sales(), b.TotalRevenue())
+	}
+}
+
+func TestBuyWithBudgets(t *testing.T) {
+	b := NewBroker(6)
+	o := listRegression(t, b)
+	c, _ := o.Curve("squared")
+	mid := c.Points()[10]
+
+	pe, err := b.BuyWithErrorBudget(o.Name, "squared", mid.Error*1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.ExpectedError > mid.Error*1.01+1e-9 {
+		t.Fatalf("error %v over budget", pe.ExpectedError)
+	}
+
+	pp, err := b.BuyWithPriceBudget(o.Name, "squared", mid.Price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Price > mid.Price+1e-6 {
+		t.Fatalf("price %v over budget", pp.Price)
+	}
+
+	// Impossible budgets.
+	if _, err := b.BuyWithErrorBudget(o.Name, "squared", 0); !errors.Is(err, pricing.ErrUnattainable) {
+		t.Fatalf("want ErrUnattainable, got %v", err)
+	}
+	if _, err := b.BuyWithPriceBudget(o.Name, "squared", 0); !errors.Is(err, pricing.ErrOverBudget) {
+		t.Fatalf("want ErrOverBudget, got %v", err)
+	}
+	// Unknown loss and offering.
+	if _, err := b.BuyAtQuality(o.Name, "hinge", 1); err == nil {
+		t.Fatal("unknown loss accepted")
+	}
+	if _, err := b.BuyAtQuality("nope", "squared", 1); !errors.Is(err, ErrUnknownOffering) {
+		t.Fatal("unknown offering accepted")
+	}
+}
+
+func TestPurchaseRandomness(t *testing.T) {
+	// Two purchases of the same version must receive different noise.
+	b := NewBroker(7)
+	o := listRegression(t, b)
+	p1, err := b.BuyAtQuality(o.Name, "squared", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := b.BuyAtQuality(o.Name, "squared", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.MaxAbsDiff(p1.Weights, p2.Weights) == 0 {
+		t.Fatal("identical noise across purchases")
+	}
+}
+
+func TestBuyerBudgetFlow(t *testing.T) {
+	b := NewBroker(8)
+	o := listRegression(t, b)
+	c, _ := o.Curve("squared")
+	top := c.Points()[len(c.Points())-1]
+
+	buyer, err := NewBuyer("alice", top.Price*1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := buyer.BuyBest(b, o.Name, "squared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Price-top.Price) > 1e-6 {
+		t.Fatalf("rich buyer should buy top version: %v vs %v", p.Price, top.Price)
+	}
+	if math.Abs(buyer.Budget-(top.Price*1.5-p.Price)) > 1e-9 {
+		t.Fatalf("budget not debited: %v", buyer.Budget)
+	}
+	if len(buyer.Purchases()) != 1 {
+		t.Fatal("purchase not recorded")
+	}
+
+	// A purchase at a fixed quality that exceeds the remaining budget fails.
+	poor, err := NewBuyer("bob", 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := poor.BuyAtQuality(b, o.Name, "squared", top.X); !errors.Is(err, ErrInsufficientBudget) {
+		t.Fatalf("want ErrInsufficientBudget, got %v", err)
+	}
+	if _, err := NewBuyer("carol", -5); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestBrokerCommission(t *testing.T) {
+	b := NewBroker(20)
+	o := listRegression(t, b)
+	if err := b.SetCommission(0.2); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.BuyAtQuality(o.Name, "squared", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.BrokerFee-0.2*p.Price) > 1e-9 {
+		t.Fatalf("fee %v of price %v", p.BrokerFee, p.Price)
+	}
+	if math.Abs(p.SellerProceeds+p.BrokerFee-p.Price) > 1e-9 {
+		t.Fatal("fee + proceeds != price")
+	}
+	payouts := b.Payouts()
+	if math.Abs(payouts[o.Name]-p.SellerProceeds) > 1e-9 {
+		t.Fatalf("payouts %v", payouts)
+	}
+	if math.Abs(b.TotalFees()-p.BrokerFee) > 1e-9 {
+		t.Fatalf("fees %v", b.TotalFees())
+	}
+	// Invalid rates rejected; zero rate means the seller gets everything.
+	if err := b.SetCommission(1); err == nil {
+		t.Fatal("rate 1 accepted")
+	}
+	if err := b.SetCommission(-0.1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := b.SetCommission(0); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := b.BuyAtQuality(o.Name, "squared", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.BrokerFee != 0 || p2.SellerProceeds != p2.Price {
+		t.Fatalf("zero-commission sale %+v", p2)
+	}
+}
+
+func TestConcurrentPurchases(t *testing.T) {
+	b := NewBroker(9)
+	o := listRegression(t, b)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, err := b.BuyAtQuality(o.Name, "squared", 3); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(b.Sales()) != 32 {
+		t.Fatalf("ledger has %d sales", len(b.Sales()))
+	}
+}
+
+func TestBuyerPointsFromResearch(t *testing.T) {
+	ec, err := pricing.SquaredToOptimalCurve([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := BuyerPointsFromResearch(ec, Research{
+		Value:  func(e float64) float64 { return 10 - 100*e }, // negative at e=1
+		Demand: func(e float64) float64 { return 1 },
+	})
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i, p := range pts {
+		if p.Value < 0 || p.Mass < 0 {
+			t.Fatalf("negative field at %d: %+v", i, p)
+		}
+		if i > 0 && p.Value < pts[i-1].Value {
+			t.Fatal("values not monotone")
+		}
+	}
+	if _, err := opt.NewProblem(pts); err != nil {
+		t.Fatalf("research points not a valid problem: %v", err)
+	}
+}

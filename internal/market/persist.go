@@ -1,0 +1,105 @@
+package market
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"nimbus/internal/pricing"
+)
+
+// Persistence: the broker's financial state (the sale ledger) and the
+// audit-relevant shape of each offering can be saved and restored as JSON,
+// so a production broker survives restarts without losing its books. The
+// heavy, reproducible parts — datasets and trained models — are relisted
+// from source on startup (see cmd/nimbusd); only the ledger is
+// irreplaceable state.
+
+// LedgerSnapshot is the serialized sale ledger.
+type LedgerSnapshot struct {
+	// Version guards the on-disk format.
+	Version int        `json:"version"`
+	Sales   []Purchase `json:"sales"`
+}
+
+// ledgerVersion is the current snapshot format.
+const ledgerVersion = 1
+
+// SaveLedger writes the sale ledger as JSON.
+func (b *Broker) SaveLedger(w io.Writer) error {
+	snap := LedgerSnapshot{Version: ledgerVersion, Sales: b.Sales()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("market: saving ledger: %w", err)
+	}
+	return nil
+}
+
+// RestoreLedger replaces the broker's ledger with a previously saved
+// snapshot. It refuses snapshots from unknown format versions and refuses
+// to clobber a non-empty ledger (restore belongs at startup).
+func (b *Broker) RestoreLedger(r io.Reader) error {
+	var snap LedgerSnapshot
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		return fmt.Errorf("market: reading ledger snapshot: %w", err)
+	}
+	if snap.Version != ledgerVersion {
+		return fmt.Errorf("market: ledger snapshot version %d, want %d", snap.Version, ledgerVersion)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.sales) > 0 {
+		return errors.New("market: refusing to restore over a non-empty ledger")
+	}
+	b.sales = append([]Purchase(nil), snap.Sales...)
+	return nil
+}
+
+// OfferingSnapshot is the audit view of one listing: everything a
+// regulator (or the seller) needs to verify what was offered at which
+// price, without the raw dataset.
+type OfferingSnapshot struct {
+	Name            string          `json:"name"`
+	Model           string          `json:"model"`
+	Mechanism       string          `json:"mechanism"`
+	Losses          []string        `json:"losses"`
+	PricePoints     []pricing.Point `json:"price_points"`
+	ExpectedRevenue float64         `json:"expected_revenue"`
+	ArbitrageFree   bool            `json:"arbitrage_free"`
+}
+
+// Snapshot captures the offering's audit view.
+func (o *Offering) Snapshot() OfferingSnapshot {
+	return OfferingSnapshot{
+		Name:            o.Name,
+		Model:           o.Model.Name(),
+		Mechanism:       o.Mechanism.Name(),
+		Losses:          o.LossNames(),
+		PricePoints:     o.PriceFunc.Points(),
+		ExpectedRevenue: o.ExpectedRevenue,
+		ArbitrageFree:   o.PriceFunc.Validate() == nil,
+	}
+}
+
+// SaveOfferings writes the audit snapshot of every listing as JSON.
+func (b *Broker) SaveOfferings(w io.Writer) error {
+	names := b.Menu()
+	snaps := make([]OfferingSnapshot, 0, len(names))
+	for _, name := range names {
+		o, err := b.Offering(name)
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, o.Snapshot())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snaps); err != nil {
+		return fmt.Errorf("market: saving offerings: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"nimbus/internal/isotone"
+)
+
+// Real market research does not arrive as smooth closed-form curves: it is
+// survey points — "(observed error, what buyers said they'd pay)" — with
+// noise. ResearchFromSamples turns such samples into the Research curves
+// the broker needs, using isotonic regression to enforce the only
+// structural assumption the framework makes: value is non-increasing in
+// error. Demand keeps its sampled shape (any non-negative form is allowed)
+// and is interpolated piecewise-linearly.
+
+// ResearchSample is one market-research observation at a given expected
+// model error.
+type ResearchSample struct {
+	// Error is the expected model error the respondents were shown.
+	Error float64 `json:"error"`
+	// Value is the stated willingness to pay.
+	Value float64 `json:"value"`
+	// Demand is the estimated buyer mass at this error level.
+	Demand float64 `json:"demand"`
+}
+
+// ResearchFromSamples fits Research curves to survey samples. At least two
+// samples with distinct error levels are required; duplicate error levels
+// are averaged.
+func ResearchFromSamples(samples []ResearchSample) (Research, error) {
+	if len(samples) < 2 {
+		return Research{}, errors.New("market: need at least 2 research samples")
+	}
+	// Sort by error and merge duplicates.
+	s := append([]ResearchSample(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Error < s[j].Error })
+	merged := s[:1]
+	counts := []int{1}
+	for _, sm := range s[1:] {
+		last := &merged[len(merged)-1]
+		if sm.Error == last.Error {
+			n := float64(counts[len(counts)-1])
+			last.Value = (last.Value*n + sm.Value) / (n + 1)
+			last.Demand = (last.Demand*n + sm.Demand) / (n + 1)
+			counts[len(counts)-1]++
+			continue
+		}
+		merged = append(merged, sm)
+		counts = append(counts, 1)
+	}
+	if len(merged) < 2 {
+		return Research{}, errors.New("market: need at least 2 distinct error levels")
+	}
+	for i, sm := range merged {
+		if sm.Error < 0 || sm.Value < 0 || sm.Demand < 0 {
+			return Research{}, fmt.Errorf("market: sample %d has negative fields %+v", i, sm)
+		}
+	}
+
+	errs := make([]float64, len(merged))
+	values := make([]float64, len(merged))
+	demands := make([]float64, len(merged))
+	for i, sm := range merged {
+		errs[i] = sm.Error
+		values[i] = sm.Value
+		demands[i] = sm.Demand
+	}
+	// Value must be non-increasing in error (better models are worth at
+	// least as much); project the survey noise away.
+	fitValues, err := isotone.RegressAntitonic(values, nil)
+	if err != nil {
+		return Research{}, err
+	}
+	return Research{
+		Value:  interpolator(errs, fitValues),
+		Demand: interpolator(errs, demands),
+	}, nil
+}
+
+// interpolator returns a piecewise-linear function through (xs, ys) with
+// constant extension outside the sampled range.
+func interpolator(xs, ys []float64) Curve {
+	return func(x float64) float64 {
+		if x <= xs[0] {
+			return ys[0]
+		}
+		last := len(xs) - 1
+		if x >= xs[last] {
+			return ys[last]
+		}
+		i := sort.SearchFloat64s(xs, x)
+		if xs[i] == x {
+			return ys[i]
+		}
+		t := (x - xs[i-1]) / (xs[i] - xs[i-1])
+		return ys[i-1] + t*(ys[i]-ys[i-1])
+	}
+}

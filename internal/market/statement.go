@@ -1,0 +1,75 @@
+package market
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Statement is the broker's periodic accounting report: per-offering sales,
+// gross revenue, commission and the payout owed to the seller.
+type Statement struct {
+	Lines      []StatementLine `json:"lines"`
+	Sales      int             `json:"sales"`
+	Gross      float64         `json:"gross"`
+	BrokerFees float64         `json:"broker_fees"`
+	Payouts    float64         `json:"payouts"`
+}
+
+// StatementLine is one offering's row.
+type StatementLine struct {
+	Offering string  `json:"offering"`
+	Sales    int     `json:"sales"`
+	Gross    float64 `json:"gross"`
+	Fees     float64 `json:"fees"`
+	Payout   float64 `json:"payout"`
+}
+
+// Statement aggregates the ledger.
+func (b *Broker) Statement() *Statement {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	byOffering := map[string]*StatementLine{}
+	st := &Statement{}
+	for _, p := range b.sales {
+		line, ok := byOffering[p.Offering]
+		if !ok {
+			line = &StatementLine{Offering: p.Offering}
+			byOffering[p.Offering] = line
+		}
+		line.Sales++
+		line.Gross += p.Price
+		line.Fees += p.BrokerFee
+		line.Payout += p.SellerProceeds
+		st.Sales++
+		st.Gross += p.Price
+		st.BrokerFees += p.BrokerFee
+		st.Payouts += p.SellerProceeds
+	}
+	names := make([]string, 0, len(byOffering))
+	for name := range byOffering {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.Lines = append(st.Lines, *byOffering[name])
+	}
+	return st
+}
+
+// Write renders the statement as a fixed-width report.
+func (s *Statement) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-40s %8s %12s %12s %12s\n",
+		"offering", "sales", "gross", "fees", "payout"); err != nil {
+		return err
+	}
+	for _, l := range s.Lines {
+		if _, err := fmt.Fprintf(w, "%-40s %8d %12.2f %12.2f %12.2f\n",
+			l.Offering, l.Sales, l.Gross, l.Fees, l.Payout); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-40s %8d %12.2f %12.2f %12.2f\n",
+		"TOTAL", s.Sales, s.Gross, s.BrokerFees, s.Payouts)
+	return err
+}

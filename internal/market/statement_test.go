@@ -1,0 +1,62 @@
+package market
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStatementAggregation(t *testing.T) {
+	b := NewBroker(21)
+	o := listRegression(t, b)
+	if err := b.SetCommission(0.25); err != nil {
+		t.Fatal(err)
+	}
+	var gross float64
+	for i := 0; i < 3; i++ {
+		p, err := b.BuyAtQuality(o.Name, "squared", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gross += p.Price
+	}
+	st := b.Statement()
+	if st.Sales != 3 || len(st.Lines) != 1 {
+		t.Fatalf("statement %+v", st)
+	}
+	if math.Abs(st.Gross-gross) > 1e-9 {
+		t.Fatalf("gross %v vs %v", st.Gross, gross)
+	}
+	if math.Abs(st.BrokerFees-0.25*gross) > 1e-9 {
+		t.Fatalf("fees %v", st.BrokerFees)
+	}
+	if math.Abs(st.BrokerFees+st.Payouts-st.Gross) > 1e-9 {
+		t.Fatal("fees + payouts != gross")
+	}
+	line := st.Lines[0]
+	if line.Offering != o.Name || line.Sales != 3 {
+		t.Fatalf("line %+v", line)
+	}
+
+	var buf bytes.Buffer
+	if err := st.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "TOTAL") || !strings.Contains(out, o.Name) {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}
+
+func TestStatementEmptyLedger(t *testing.T) {
+	b := NewBroker(22)
+	st := b.Statement()
+	if st.Sales != 0 || len(st.Lines) != 0 || st.Gross != 0 {
+		t.Fatalf("empty statement %+v", st)
+	}
+	var buf bytes.Buffer
+	if err := st.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

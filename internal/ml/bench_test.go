@@ -1,0 +1,73 @@
+package ml
+
+import (
+	"testing"
+
+	"nimbus/internal/dataset"
+)
+
+func benchReg(b *testing.B, n int) *dataset.Dataset {
+	b.Helper()
+	return dataset.Simulated1(dataset.GenConfig{Rows: n, Seed: 77})
+}
+
+func benchCls(b *testing.B, n int) *dataset.Dataset {
+	b.Helper()
+	return dataset.Simulated2(dataset.GenConfig{Rows: n, Seed: 78})
+}
+
+func BenchmarkLinearRegressionFit(b *testing.B) {
+	d := benchReg(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (LinearRegression{Ridge: 1e-4}).Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogisticRegressionFit(b *testing.B) {
+	d := benchCls(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (LogisticRegression{Ridge: 1e-4}).Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinearSVMFit(b *testing.B) {
+	d := benchCls(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (LinearSVM{Ridge: 1e-3, MaxIter: 500}).Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSquaredLossEval(b *testing.B) {
+	d := benchReg(b, 10000)
+	w, err := LinearRegression{}.Fit(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loss := SquaredLoss{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loss.Eval(w, d)
+	}
+}
+
+func BenchmarkZeroOneLossEval(b *testing.B) {
+	d := benchCls(b, 10000)
+	w, err := LogisticRegression{Ridge: 1e-4}.Fit(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loss := ZeroOneLoss{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loss.Eval(w, d)
+	}
+}

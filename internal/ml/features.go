@@ -1,0 +1,91 @@
+package ml
+
+import (
+	"fmt"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/vec"
+)
+
+// PolynomialFeatures expands a relation with interaction and power terms up
+// to the given degree (plus an intercept column), letting the marketplace
+// sell nonlinear models while staying inside the paper's linear-hypothesis
+// theory: the hypothesis space is still R^d', the losses stay strictly
+// convex, and the Gaussian mechanism applies unchanged to the expanded
+// weight vector.
+//
+// Degree 1 adds only the intercept; degree 2 adds all squares and pairwise
+// products. Higher degrees are supported but explode combinatorially, so
+// the constructor refuses expansions beyond 100k columns.
+func PolynomialFeatures(d *dataset.Dataset, degree int) (*dataset.Dataset, error) {
+	if degree < 1 {
+		return nil, fmt.Errorf("ml: polynomial degree must be ≥ 1, got %d", degree)
+	}
+	// The expansion has C(d+degree, degree) columns (multisets of size ≤
+	// degree, plus the intercept); refuse oversized expansions before
+	// enumerating them.
+	expected := 1
+	for k := 1; k <= degree; k++ {
+		expected = expected * (d.D() + k) / k
+		if expected > 100000 {
+			return nil, fmt.Errorf("ml: degree-%d expansion of %d features exceeds 100000 columns", degree, d.D())
+		}
+	}
+	// Enumerate monomials as multisets of column indexes up to the degree.
+	var monomials [][]int
+	var build func(start int, cur []int)
+	build = func(start int, cur []int) {
+		if len(cur) > 0 {
+			monomials = append(monomials, append([]int(nil), cur...))
+		}
+		if len(cur) == degree {
+			return
+		}
+		for j := start; j < d.D(); j++ {
+			build(j, append(cur, j))
+		}
+	}
+	build(0, nil)
+	outCols := 1 + len(monomials) // intercept + monomials
+	if outCols > 100000 {
+		return nil, fmt.Errorf("ml: degree-%d expansion of %d features needs %d columns (limit 100000)",
+			degree, d.D(), outCols)
+	}
+	m := vec.NewMatrix(d.N(), outCols)
+	for i := 0; i < d.N(); i++ {
+		x, _ := d.Row(i)
+		row := m.Row(i)
+		row[0] = 1 // intercept
+		for k, mono := range monomials {
+			v := 1.0
+			for _, j := range mono {
+				v *= x[j]
+			}
+			row[k+1] = v
+		}
+	}
+	names := make([]string, outCols)
+	names[0] = "1"
+	for k, mono := range monomials {
+		name := ""
+		for _, j := range mono {
+			col := fmt.Sprintf("f%d", j)
+			if d.Columns != nil && j < len(d.Columns) {
+				col = d.Columns[j]
+			}
+			if name != "" {
+				name += "*"
+			}
+			name += col
+		}
+		names[k+1] = name
+	}
+	out := &dataset.Dataset{
+		Name:     fmt.Sprintf("%s/poly%d", d.Name, degree),
+		Task:     d.Task,
+		Columns:  names,
+		Features: m,
+		Target:   append([]float64(nil), d.Target...),
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/rng"
+	"nimbus/internal/vec"
+)
+
+func TestPolynomialFeaturesDegree1(t *testing.T) {
+	d := regData(t, 20)
+	out, err := PolynomialFeatures(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.D() != d.D()+1 {
+		t.Fatalf("degree-1 expansion has %d columns, want %d", out.D(), d.D()+1)
+	}
+	// Intercept column plus original features.
+	x, _ := out.Row(0)
+	orig, _ := d.Row(0)
+	if x[0] != 1 {
+		t.Fatal("missing intercept")
+	}
+	for j, v := range orig {
+		if x[j+1] != v {
+			t.Fatalf("column %d changed", j)
+		}
+	}
+	if out.Columns[0] != "1" {
+		t.Fatalf("intercept name %q", out.Columns[0])
+	}
+}
+
+func TestPolynomialFeaturesDegree2Counts(t *testing.T) {
+	// d features → 1 + d + d(d+1)/2 columns at degree 2.
+	m := vec.NewMatrix(3, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	d, err := dataset.New("toy", dataset.Regression, m, []float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := PolynomialFeatures(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 3 + 6
+	if out.D() != want {
+		t.Fatalf("degree-2 expansion has %d columns, want %d", out.D(), want)
+	}
+	// Spot-check: row 0 is (1,2,3); the squared and cross terms must appear.
+	x, _ := out.Row(0)
+	found := map[float64]bool{}
+	for _, v := range x {
+		found[v] = true
+	}
+	for _, v := range []float64{1, 2, 3, 4, 6, 9} { // 1, x0..x2, x0², x0x1, x0x2, x1², ...
+		if !found[v] {
+			t.Fatalf("expanded row misses value %v: %v", v, x)
+		}
+	}
+}
+
+func TestPolynomialFeaturesValidation(t *testing.T) {
+	d := regData(t, 5)
+	if _, err := PolynomialFeatures(d, 0); err == nil {
+		t.Fatal("degree 0 accepted")
+	}
+	// 20 features at degree 6 blows the 100k column limit
+	// (C(26,6) = 230230 monomials).
+	if _, err := PolynomialFeatures(d, 6); err == nil {
+		t.Fatal("oversized expansion accepted")
+	}
+}
+
+func TestPolynomialFeaturesEnableNonlinearFit(t *testing.T) {
+	// y = x0² is unlearnable by a linear model on raw features but exact
+	// after degree-2 expansion.
+	src := rng.New(44)
+	n := 200
+	m := vec.NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := src.Normal(0, 1)
+		m.Set(i, 0, v)
+		y[i] = v * v
+	}
+	d, err := dataset.New("quad", dataset.Regression, m, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawFit, err := LinearRegression{Ridge: 1e-8}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawLoss := SquaredLoss{}.Eval(rawFit, d)
+
+	expanded, err := PolynomialFeatures(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polyFit, err := LinearRegression{Ridge: 1e-8}.Fit(expanded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polyLoss := SquaredLoss{}.Eval(polyFit, expanded)
+	if polyLoss > 1e-6 {
+		t.Fatalf("expanded fit loss %v, want ~0", polyLoss)
+	}
+	if rawLoss < 100*polyLoss {
+		t.Fatalf("raw fit suspiciously good: %v vs %v", rawLoss, polyLoss)
+	}
+}
+
+func TestLassoRecoversSparseModel(t *testing.T) {
+	// Ground truth uses only 3 of 20 features; the lasso must zero most of
+	// the rest while the ridge fit keeps everything dense.
+	src := rng.New(45)
+	n, dFeat := 400, 20
+	m := vec.NewMatrix(n, dFeat)
+	for i := range m.Data {
+		m.Data[i] = src.Normal(0, 1)
+	}
+	truth := vec.Zeros(dFeat)
+	truth[1], truth[7], truth[13] = 3, -2, 1.5
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = vec.Dot(m.Row(i), truth) + src.Normal(0, 0.05)
+	}
+	d, err := dataset.New("sparse", dataset.Regression, m, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lasso := Lasso{Alpha: 0.05, Ridge: 1e-6}
+	w, err := lasso.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Sparsity(w); s < 0.5 {
+		t.Fatalf("lasso sparsity %v, want ≥ 0.5", s)
+	}
+	// The true support survives with roughly correct signs and magnitudes.
+	for _, j := range []int{1, 7, 13} {
+		if math.Abs(w[j]-truth[j]) > 0.3 {
+			t.Fatalf("weight %d = %v, want ≈ %v", j, w[j], truth[j])
+		}
+	}
+	// Dense ridge baseline keeps nearly everything nonzero.
+	ridge, err := LinearRegression{Ridge: 1e-3}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Sparsity(ridge) > 0.2 {
+		t.Fatal("ridge fit unexpectedly sparse")
+	}
+}
+
+func TestLassoValidation(t *testing.T) {
+	d := regData(t, 30)
+	if _, err := (Lasso{}).Fit(d); err == nil {
+		t.Fatal("Alpha=0 accepted")
+	}
+	cls := clsData(t, 30)
+	if _, err := (Lasso{Alpha: 0.1}).Fit(cls); !errors.Is(err, ErrTaskMismatch) {
+		t.Fatalf("want ErrTaskMismatch, got %v", err)
+	}
+}
+
+func TestLassoObjectiveDecreasesVsZero(t *testing.T) {
+	d := regData(t, 100)
+	lasso := Lasso{Alpha: 0.01, Ridge: 1e-6}
+	w, err := lasso.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lasso.Objective(w, d) >= lasso.Objective(vec.Zeros(d.D()), d) {
+		t.Fatal("lasso did not improve over the zero model")
+	}
+}
+
+func TestSparsity(t *testing.T) {
+	if Sparsity(nil) != 0 {
+		t.Fatal("nil sparsity")
+	}
+	if got := Sparsity([]float64{0, 1, 0, 2}); got != 0.5 {
+		t.Fatalf("sparsity %v", got)
+	}
+}

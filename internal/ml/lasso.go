@@ -1,0 +1,131 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/vec"
+)
+
+// Lasso is L1-regularized least squares,
+//
+//	min_w 1/(2n)·Σ (wᵀx − y)² + Alpha·‖w‖₁,
+//
+// fit by proximal gradient descent (ISTA) with backtracking. Sparse models
+// matter in the marketplace because the seller may only want to expose a
+// few feature weights per version; the L1 term is not strictly convex, so
+// for pricing the broker pairs a lasso fit with a small ridge (the elastic
+// net below), which restores the paper's strict-convexity requirement.
+type Lasso struct {
+	// Alpha is the L1 coefficient (must be positive).
+	Alpha float64
+	// Ridge optionally adds µ‖w‖² (elastic net) — required for pricing.
+	Ridge float64
+	// MaxIter bounds ISTA iterations (0 means 2000).
+	MaxIter int
+	// Tol stops when the iterate moves less than this (0 means 1e-9).
+	Tol float64
+}
+
+// Name implements Model.
+func (m Lasso) Name() string { return "lasso" }
+
+// Task implements Model.
+func (m Lasso) Task() dataset.Task { return dataset.Regression }
+
+// TrainLoss implements Model. The reported λ is the smooth elastic-net
+// part; the L1 term is handled by the proximal step and is reflected in
+// Objective.
+func (m Lasso) TrainLoss() Loss { return SquaredLoss{Reg: m.Ridge} }
+
+// Objective evaluates the full elastic-net objective including the L1 term.
+func (m Lasso) Objective(w []float64, d *dataset.Dataset) float64 {
+	obj := SquaredLoss{Reg: m.Ridge}.Eval(w, d)
+	for _, v := range w {
+		obj += m.Alpha * math.Abs(v)
+	}
+	return obj
+}
+
+// Fit implements Model via ISTA: gradient step on the smooth part followed
+// by soft-thresholding at Alpha·step.
+func (m Lasso) Fit(d *dataset.Dataset) ([]float64, error) {
+	if err := checkTask(m, d); err != nil {
+		return nil, err
+	}
+	if m.Alpha <= 0 {
+		return nil, fmt.Errorf("ml: lasso needs Alpha > 0, got %v", m.Alpha)
+	}
+	maxIter := m.MaxIter
+	if maxIter == 0 {
+		maxIter = 2000
+	}
+	tol := m.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	smooth := SquaredLoss{Reg: m.Ridge}
+	w := vec.Zeros(d.D())
+	step := 1.0
+	cur := m.Objective(w, d)
+	for iter := 0; iter < maxIter; iter++ {
+		g := smooth.Grad(w, d)
+		// Backtracking on the proximal step: shrink until the objective
+		// decreases.
+		var next []float64
+		improved := false
+		for k := 0; k < 50; k++ {
+			next = proxStep(w, g, step, m.Alpha)
+			if nv := m.Objective(next, d); nv <= cur {
+				cur = nv
+				improved = true
+				break
+			}
+			step /= 2
+		}
+		if !improved {
+			break
+		}
+		delta := vec.MaxAbsDiff(next, w)
+		w = next
+		if delta < tol {
+			break
+		}
+		// Gentle step growth keeps progress fast after early shrinking.
+		step *= 1.1
+	}
+	return w, nil
+}
+
+// proxStep performs w ← soft(w − step·g, step·alpha).
+func proxStep(w, g []float64, step, alpha float64) []float64 {
+	out := make([]float64, len(w))
+	th := step * alpha
+	for i := range w {
+		v := w[i] - step*g[i]
+		switch {
+		case v > th:
+			out[i] = v - th
+		case v < -th:
+			out[i] = v + th
+		default:
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// Sparsity returns the fraction of exactly-zero weights.
+func Sparsity(w []float64) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	zeros := 0
+	for _, v := range w {
+		if v == 0 {
+			zeros++
+		}
+	}
+	return float64(zeros) / float64(len(w))
+}

@@ -1,0 +1,153 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/vec"
+)
+
+// Evaluation metrics beyond the pricing losses: buyers judge the model they
+// bought with the usual suspects (RMSE/R² for regression, accuracy/F1/AUC
+// for classification), so the library ships them.
+
+// RegressionReport summarizes a weight vector's fit on a regression set.
+type RegressionReport struct {
+	RMSE float64 `json:"rmse"`
+	MAE  float64 `json:"mae"`
+	R2   float64 `json:"r2"`
+}
+
+// EvaluateRegression scores w on d.
+func EvaluateRegression(w []float64, d *dataset.Dataset) (*RegressionReport, error) {
+	if d.Task != dataset.Regression {
+		return nil, fmt.Errorf("ml: EvaluateRegression on %v data: %w", d.Task, ErrTaskMismatch)
+	}
+	if d.N() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	n := float64(d.N())
+	var meanY float64
+	for _, y := range d.Target {
+		meanY += y / n
+	}
+	var sse, sae, sst float64
+	for i := 0; i < d.N(); i++ {
+		x, y := d.Row(i)
+		r := vec.Dot(w, x) - y
+		sse += r * r
+		sae += math.Abs(r)
+		sst += (y - meanY) * (y - meanY)
+	}
+	r2 := math.Inf(-1)
+	if sst > 0 {
+		r2 = 1 - sse/sst
+	} else if sse == 0 {
+		r2 = 1 // constant target predicted exactly
+	}
+	return &RegressionReport{
+		RMSE: math.Sqrt(sse / n),
+		MAE:  sae / n,
+		R2:   r2,
+	}, nil
+}
+
+// ClassificationReport summarizes a linear classifier on a ±1-labeled set.
+type ClassificationReport struct {
+	Accuracy  float64 `json:"accuracy"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	AUC       float64 `json:"auc"`
+	// Confusion counts: TP/FP/TN/FN with +1 as the positive class.
+	TP, FP, TN, FN int
+}
+
+// EvaluateClassification scores w on d: predictions are sign(wᵀx) with the
+// boundary counted negative (matching ZeroOneLoss), and AUC ranks by the
+// raw score.
+func EvaluateClassification(w []float64, d *dataset.Dataset) (*ClassificationReport, error) {
+	if d.Task != dataset.Classification {
+		return nil, fmt.Errorf("ml: EvaluateClassification on %v data: %w", d.Task, ErrTaskMismatch)
+	}
+	if d.N() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	rep := &ClassificationReport{}
+	scores := make([]float64, d.N())
+	labels := make([]float64, d.N())
+	for i := 0; i < d.N(); i++ {
+		x, y := d.Row(i)
+		s := vec.Dot(w, x)
+		scores[i] = s
+		labels[i] = y
+		pred := 1.0
+		if s <= 0 {
+			pred = -1
+		}
+		switch {
+		case pred == 1 && y == 1:
+			rep.TP++
+		case pred == 1 && y == -1:
+			rep.FP++
+		case pred == -1 && y == -1:
+			rep.TN++
+		default:
+			rep.FN++
+		}
+	}
+	total := float64(d.N())
+	rep.Accuracy = float64(rep.TP+rep.TN) / total
+	if rep.TP+rep.FP > 0 {
+		rep.Precision = float64(rep.TP) / float64(rep.TP+rep.FP)
+	}
+	if rep.TP+rep.FN > 0 {
+		rep.Recall = float64(rep.TP) / float64(rep.TP+rep.FN)
+	}
+	if rep.Precision+rep.Recall > 0 {
+		rep.F1 = 2 * rep.Precision * rep.Recall / (rep.Precision + rep.Recall)
+	}
+	rep.AUC = auc(scores, labels)
+	return rep, nil
+}
+
+// auc computes the area under the ROC curve via the rank statistic
+// (Mann–Whitney U), with the standard midrank treatment of score ties.
+func auc(scores, labels []float64) float64 {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	// Midranks over tied scores.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	var posRankSum float64
+	var nPos, nNeg int
+	for i, y := range labels {
+		if y == 1 {
+			posRankSum += ranks[i]
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return math.NaN() // undefined without both classes
+	}
+	u := posRankSum - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}

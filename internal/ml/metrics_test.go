@@ -1,0 +1,169 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/vec"
+)
+
+func regToy(t *testing.T, xs, ys []float64) *dataset.Dataset {
+	t.Helper()
+	m := vec.NewMatrix(len(xs), 1)
+	copy(m.Data, xs)
+	d, err := dataset.New("toy", dataset.Regression, m, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func clsToy(t *testing.T, xs, ys []float64) *dataset.Dataset {
+	t.Helper()
+	m := vec.NewMatrix(len(xs), 1)
+	copy(m.Data, xs)
+	d, err := dataset.New("toy", dataset.Classification, m, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEvaluateRegressionPerfectFit(t *testing.T) {
+	d := regToy(t, []float64{1, 2, 3}, []float64{2, 4, 6})
+	rep, err := EvaluateRegression([]float64{2}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RMSE != 0 || rep.MAE != 0 || rep.R2 != 1 {
+		t.Fatalf("%+v", rep)
+	}
+}
+
+func TestEvaluateRegressionKnownValues(t *testing.T) {
+	// Predictions 1,2,3 for targets 2,2,2: residuals -1,0,1.
+	d := regToy(t, []float64{1, 2, 3}, []float64{2, 2, 2})
+	rep, err := EvaluateRegression([]float64{1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.RMSE-math.Sqrt(2.0/3)) > 1e-12 {
+		t.Fatalf("RMSE %v", rep.RMSE)
+	}
+	if math.Abs(rep.MAE-2.0/3) > 1e-12 {
+		t.Fatalf("MAE %v", rep.MAE)
+	}
+	// Constant target with errors: SST = 0 and SSE > 0 → R2 = -Inf.
+	if !math.IsInf(rep.R2, -1) {
+		t.Fatalf("R2 %v", rep.R2)
+	}
+}
+
+func TestEvaluateRegressionR2(t *testing.T) {
+	// Mean-only prediction has R² = 0; here w=0 predicts 0 for targets
+	// with mean 0 → R² = 0.
+	d := regToy(t, []float64{1, 2}, []float64{-1, 1})
+	rep, err := EvaluateRegression([]float64{0}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.R2) > 1e-12 {
+		t.Fatalf("R2 %v", rep.R2)
+	}
+}
+
+func TestEvaluateRegressionValidation(t *testing.T) {
+	cls := clsToy(t, []float64{1}, []float64{1})
+	if _, err := EvaluateRegression([]float64{1}, cls); !errors.Is(err, ErrTaskMismatch) {
+		t.Fatal("task mismatch accepted")
+	}
+}
+
+func TestEvaluateClassificationPerfect(t *testing.T) {
+	d := clsToy(t, []float64{1, 2, -1, -2}, []float64{1, 1, -1, -1})
+	rep, err := EvaluateClassification([]float64{1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accuracy != 1 || rep.Precision != 1 || rep.Recall != 1 || rep.F1 != 1 {
+		t.Fatalf("%+v", rep)
+	}
+	if rep.AUC != 1 {
+		t.Fatalf("AUC %v", rep.AUC)
+	}
+	if rep.TP != 2 || rep.TN != 2 || rep.FP != 0 || rep.FN != 0 {
+		t.Fatalf("confusion %+v", rep)
+	}
+}
+
+func TestEvaluateClassificationConfusion(t *testing.T) {
+	// w = 1: predictions +,+,-,-; labels +,-,+,- → TP=1 FP=1 FN=1 TN=1.
+	d := clsToy(t, []float64{1, 2, -1, -2}, []float64{1, -1, 1, -1})
+	rep, err := EvaluateClassification([]float64{1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TP != 1 || rep.FP != 1 || rep.FN != 1 || rep.TN != 1 {
+		t.Fatalf("confusion %+v", rep)
+	}
+	if rep.Accuracy != 0.5 || rep.Precision != 0.5 || rep.Recall != 0.5 || rep.F1 != 0.5 {
+		t.Fatalf("%+v", rep)
+	}
+	// Scores 1,2,-1,-2 with labels +,-,+,-: pairs (pos,neg): (1,2)=0,
+	// (1,-2)=1, (-1,2)=0, (-1,-2)=1 → AUC = 0.5.
+	if rep.AUC != 0.5 {
+		t.Fatalf("AUC %v", rep.AUC)
+	}
+}
+
+func TestAUCWithTies(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 by midranks.
+	d := clsToy(t, []float64{0, 0, 0, 0}, []float64{1, 1, -1, -1})
+	rep, err := EvaluateClassification([]float64{1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AUC != 0.5 {
+		t.Fatalf("tied AUC %v", rep.AUC)
+	}
+}
+
+func TestAUCSingleClass(t *testing.T) {
+	d := clsToy(t, []float64{1, 2}, []float64{1, 1})
+	rep, err := EvaluateClassification([]float64{1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(rep.AUC) {
+		t.Fatalf("single-class AUC %v", rep.AUC)
+	}
+}
+
+func TestEvaluateClassificationOnRealFit(t *testing.T) {
+	d := clsData(t, 2000)
+	w, err := LogisticRegression{Ridge: 1e-4}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EvaluateClassification(w, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulated2 has 5% flip noise: a good fit is ~95% accurate with AUC
+	// well above 0.9, and accuracy must agree with 1 − ZeroOneLoss.
+	if rep.Accuracy < 0.9 || rep.AUC < 0.93 {
+		t.Fatalf("%+v", rep)
+	}
+	if math.Abs(rep.Accuracy-(1-ZeroOneLoss{}.Eval(w, d))) > 1e-12 {
+		t.Fatal("accuracy disagrees with ZeroOneLoss")
+	}
+}
+
+func TestEvaluateClassificationValidation(t *testing.T) {
+	reg := regToy(t, []float64{1}, []float64{1})
+	if _, err := EvaluateClassification([]float64{1}, reg); !errors.Is(err, ErrTaskMismatch) {
+		t.Fatal("task mismatch accepted")
+	}
+}

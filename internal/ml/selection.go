@@ -1,0 +1,92 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/rng"
+)
+
+// Model selection is the first future-work extension the paper names
+// (Section 7): buyers often do not know which ML model they want. The
+// broker can therefore run k-fold cross-validation over its menu and list
+// the best model for a dataset automatically.
+
+// CVResult reports one candidate's cross-validation performance.
+type CVResult struct {
+	// Model is the evaluated candidate.
+	Model Model
+	// MeanError is the average validation error across folds.
+	MeanError float64
+	// FoldErrors holds the per-fold validation errors.
+	FoldErrors []float64
+}
+
+// SelectModel k-fold cross-validates each candidate on d under the given
+// reporting loss and returns the candidate with the lowest mean validation
+// error together with the full scoreboard (sorted best-first).
+func SelectModel(d *dataset.Dataset, candidates []Model, loss Loss, k int, src *rng.Source) (Model, []CVResult, error) {
+	if len(candidates) == 0 {
+		return nil, nil, fmt.Errorf("ml: no candidate models")
+	}
+	if k < 2 {
+		return nil, nil, fmt.Errorf("ml: need k ≥ 2 folds, got %d", k)
+	}
+	if d.N() < k {
+		return nil, nil, fmt.Errorf("ml: %d rows cannot form %d folds", d.N(), k)
+	}
+	for _, m := range candidates {
+		if m.Task() != d.Task {
+			return nil, nil, fmt.Errorf("ml: candidate %s expects %v data, dataset %q is %v: %w",
+				m.Name(), m.Task(), d.Name, d.Task, ErrTaskMismatch)
+		}
+	}
+	perm := src.Perm(d.N())
+	results := make([]CVResult, 0, len(candidates))
+	for _, m := range candidates {
+		foldErrs := make([]float64, 0, k)
+		var sum float64
+		for fold := 0; fold < k; fold++ {
+			lo := fold * d.N() / k
+			hi := (fold + 1) * d.N() / k
+			val := d.Subset(fmt.Sprintf("%s/fold%d", d.Name, fold), perm[lo:hi])
+			trainIdx := make([]int, 0, d.N()-(hi-lo))
+			trainIdx = append(trainIdx, perm[:lo]...)
+			trainIdx = append(trainIdx, perm[hi:]...)
+			train := d.Subset(d.Name+"/cv-train", trainIdx)
+			w, err := m.Fit(train)
+			if err != nil {
+				return nil, nil, fmt.Errorf("ml: cross-validating %s: %w", m.Name(), err)
+			}
+			e := loss.Eval(w, val)
+			foldErrs = append(foldErrs, e)
+			sum += e
+		}
+		results = append(results, CVResult{Model: m, MeanError: sum / float64(k), FoldErrors: foldErrs})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].MeanError < results[j].MeanError })
+	return results[0].Model, results, nil
+}
+
+// DefaultCandidates returns the menu models applicable to a task, with
+// a small regularization sweep — the candidate set a broker would
+// cross-validate when the buyer has no model preference.
+func DefaultCandidates(task dataset.Task) []Model {
+	switch task {
+	case dataset.Regression:
+		return []Model{
+			LinearRegression{},
+			LinearRegression{Ridge: 1e-3},
+			LinearRegression{Ridge: 1e-1},
+		}
+	case dataset.Classification:
+		return []Model{
+			LogisticRegression{Ridge: 1e-4},
+			LogisticRegression{Ridge: 1e-2},
+			LinearSVM{Ridge: 1e-3},
+		}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,78 @@
+package ml
+
+import (
+	"errors"
+	"testing"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/rng"
+)
+
+func TestSelectModelValidation(t *testing.T) {
+	d := regData(t, 50)
+	src := rng.New(1)
+	if _, _, err := SelectModel(d, nil, SquaredLoss{}, 3, src); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+	if _, _, err := SelectModel(d, []Model{LinearRegression{}}, SquaredLoss{}, 1, src); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, _, err := SelectModel(d, []Model{LogisticRegression{}}, SquaredLoss{}, 3, src); !errors.Is(err, ErrTaskMismatch) {
+		t.Fatalf("want ErrTaskMismatch, got %v", err)
+	}
+	tiny := d.Subset("tiny", []int{0, 1})
+	if _, _, err := SelectModel(tiny, []Model{LinearRegression{}}, SquaredLoss{}, 5, src); err == nil {
+		t.Fatal("too-few-rows accepted")
+	}
+}
+
+func TestSelectModelPicksObviousWinner(t *testing.T) {
+	// Simulated1 is exactly linear: unregularized least squares must beat a
+	// heavily over-regularized variant.
+	d := regData(t, 300)
+	best, results, err := SelectModel(d, []Model{
+		LinearRegression{},
+		LinearRegression{Ridge: 1e6},
+	}, SquaredLoss{}, 4, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, ok := best.(LinearRegression)
+	if !ok || lr.Ridge != 0 {
+		t.Fatalf("selected %+v", best)
+	}
+	if len(results) != 2 || results[0].MeanError > results[1].MeanError {
+		t.Fatalf("results not sorted: %+v", results)
+	}
+	if len(results[0].FoldErrors) != 4 {
+		t.Fatalf("fold errors: %v", results[0].FoldErrors)
+	}
+}
+
+func TestSelectModelClassification(t *testing.T) {
+	d := clsData(t, 800)
+	best, results, err := SelectModel(d, DefaultCandidates(dataset.Classification), ZeroOneLoss{}, 3, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil {
+		t.Fatal("no model selected")
+	}
+	// All classification candidates should be in the ballpark of the Bayes
+	// rate (5% flip noise): the winner must be well under 0.2.
+	if results[0].MeanError > 0.2 {
+		t.Fatalf("winner error %v", results[0].MeanError)
+	}
+}
+
+func TestDefaultCandidates(t *testing.T) {
+	if got := DefaultCandidates(dataset.Regression); len(got) != 3 {
+		t.Fatalf("regression candidates: %d", len(got))
+	}
+	if got := DefaultCandidates(dataset.Classification); len(got) != 3 {
+		t.Fatalf("classification candidates: %d", len(got))
+	}
+	if DefaultCandidates(dataset.Task(99)) != nil {
+		t.Fatal("unknown task should give nil")
+	}
+}

@@ -1,0 +1,152 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/rng"
+	"nimbus/internal/vec"
+)
+
+// MiniBatchSGD is a stochastic first-order trainer for the paper-scale
+// datasets (Table 3 goes up to 10M rows), where the full-gradient trainers
+// become the broker's listing bottleneck. It samples mini-batches with a
+// seedable stream, uses a 1/(λ·t) step schedule when the objective is
+// strongly convex and c/√t otherwise, and averages the tail iterates.
+type MiniBatchSGD struct {
+	// BatchSize is the mini-batch size (0 means 64).
+	BatchSize int
+	// Epochs is the number of passes over the data (0 means 5).
+	Epochs int
+	// Step is the base step size for the √t schedule (0 means 0.1).
+	Step float64
+	// StrongConvexity λ enables the 1/(λt) schedule when positive (set it
+	// to twice the L2 coefficient of the loss).
+	StrongConvexity float64
+	// Seed drives the batch sampling.
+	Seed int64
+}
+
+// Minimize runs SGD on the averaged loss over d and returns the averaged
+// tail iterate.
+func (s MiniBatchSGD) Minimize(loss GradLoss, d *dataset.Dataset) ([]float64, error) {
+	if d.N() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	batch := s.BatchSize
+	if batch <= 0 {
+		batch = 64
+	}
+	if batch > d.N() {
+		batch = d.N()
+	}
+	epochs := s.Epochs
+	if epochs <= 0 {
+		epochs = 5
+	}
+	step := s.Step
+	if step <= 0 {
+		step = 0.1
+	}
+	src := rng.New(s.Seed)
+
+	w := vec.Zeros(d.D())
+	avg := vec.Zeros(d.D())
+	avgCount := 0
+	stepsPerEpoch := (d.N() + batch - 1) / batch
+	total := epochs * stepsPerEpoch
+	tailStart := total / 2 // average the second half of the trajectory
+	idx := make([]int, batch)
+	t := 0
+	for e := 0; e < epochs; e++ {
+		for bi := 0; bi < stepsPerEpoch; bi++ {
+			t++
+			for i := range idx {
+				idx[i] = src.Intn(d.N())
+			}
+			mb := d.Subset("sgd-batch", idx)
+			g := loss.Grad(w, mb)
+			var eta float64
+			if s.StrongConvexity > 0 {
+				eta = 1 / (s.StrongConvexity * float64(t))
+			} else {
+				eta = step / math.Sqrt(float64(t))
+			}
+			vec.AXPY(w, -eta, g)
+			if t > tailStart {
+				vec.AXPY(avg, 1, w)
+				avgCount++
+			}
+		}
+	}
+	if avgCount == 0 {
+		return w, nil
+	}
+	for i := range avg {
+		avg[i] /= float64(avgCount)
+	}
+	// Return whichever iterate scores better on the full objective.
+	if loss.Eval(avg, d) <= loss.Eval(w, d) {
+		return avg, nil
+	}
+	return w, nil
+}
+
+// Standardizer centers and scales features to zero mean and unit variance,
+// the preprocessing step real marketplace listings need before the
+// regularized trainers (UCI columns span wildly different ranges).
+type Standardizer struct {
+	// Mean and Scale are per-column statistics fit on the train set.
+	Mean  []float64
+	Scale []float64
+}
+
+// FitStandardizer computes per-column statistics on d.
+func FitStandardizer(d *dataset.Dataset) (*Standardizer, error) {
+	if d.N() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	n := float64(d.N())
+	mean := vec.Zeros(d.D())
+	for i := 0; i < d.N(); i++ {
+		x, _ := d.Row(i)
+		vec.AXPY(mean, 1/n, x)
+	}
+	variance := vec.Zeros(d.D())
+	for i := 0; i < d.N(); i++ {
+		x, _ := d.Row(i)
+		for j, v := range x {
+			dlt := v - mean[j]
+			variance[j] += dlt * dlt / n
+		}
+	}
+	scale := make([]float64, d.D())
+	for j, v := range variance {
+		scale[j] = math.Sqrt(v)
+		// Constant columns have zero variance up to float accumulation
+		// noise; treat them as centered-only rather than dividing by ~0.
+		if scale[j] <= 1e-12*(1+math.Abs(mean[j])) {
+			scale[j] = 1
+		}
+	}
+	return &Standardizer{Mean: mean, Scale: scale}, nil
+}
+
+// Apply returns a standardized copy of d using the fitted statistics.
+func (s *Standardizer) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	if len(s.Mean) != d.D() {
+		return nil, fmt.Errorf("ml: standardizer fit on %d columns, dataset has %d", len(s.Mean), d.D())
+	}
+	m := vec.NewMatrix(d.N(), d.D())
+	for i := 0; i < d.N(); i++ {
+		x, _ := d.Row(i)
+		row := m.Row(i)
+		for j, v := range x {
+			row[j] = (v - s.Mean[j]) / s.Scale[j]
+		}
+	}
+	y := append([]float64(nil), d.Target...)
+	out := &dataset.Dataset{Name: d.Name + "/standardized", Task: d.Task, Columns: d.Columns, Features: m, Target: y}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/vec"
+)
+
+func TestMiniBatchSGDRegressionConverges(t *testing.T) {
+	d := regData(t, 2000)
+	loss := SquaredLoss{Reg: 1e-4}
+	exact, err := LinearRegression{Ridge: 1e-4}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgd := MiniBatchSGD{BatchSize: 64, Epochs: 30, StrongConvexity: 2e-4, Step: 0.2, Seed: 1}
+	w, err := sgd.Minimize(loss, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactLoss := loss.Eval(exact, d)
+	sgdLoss := loss.Eval(w, d)
+	// SGD with a 1/(λt) schedule on a weakly-regularized objective gets
+	// close, not exact; demand a small absolute gap on this noiseless data.
+	if sgdLoss > exactLoss+0.5 {
+		t.Fatalf("SGD loss %v vs exact %v", sgdLoss, exactLoss)
+	}
+	// And it must vastly beat the zero model.
+	if zero := loss.Eval(vec.Zeros(d.D()), d); sgdLoss > zero/4 {
+		t.Fatalf("SGD loss %v vs zero model %v", sgdLoss, zero)
+	}
+}
+
+func TestMiniBatchSGDClassification(t *testing.T) {
+	d := clsData(t, 3000)
+	loss := LogisticLoss{Reg: 1e-4}
+	sgd := MiniBatchSGD{BatchSize: 128, Epochs: 20, Step: 1, Seed: 2}
+	w, err := sgd.Minimize(loss, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errRate := (ZeroOneLoss{}).Eval(w, d); errRate > 0.12 {
+		t.Fatalf("SGD error rate %v", errRate)
+	}
+}
+
+func TestMiniBatchSGDDeterministic(t *testing.T) {
+	d := regData(t, 300)
+	loss := SquaredLoss{}
+	sgd := MiniBatchSGD{Epochs: 2, Seed: 3}
+	a, err := sgd.Minimize(loss, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sgd.Minimize(loss, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("same seed must give identical trajectories")
+	}
+}
+
+func TestMiniBatchSGDEmptyDataset(t *testing.T) {
+	d := regData(t, 10)
+	empty := d.Subset("empty", nil)
+	if _, err := (MiniBatchSGD{}).Minimize(SquaredLoss{}, empty); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	d, err := StandInStats(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FitStandardizer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standardized columns: mean ~0, variance ~1 (or exactly centered for
+	// constant columns).
+	n := float64(out.N())
+	for j := 0; j < out.D(); j++ {
+		var mean, variance float64
+		for i := 0; i < out.N(); i++ {
+			x, _ := out.Row(i)
+			mean += x[j] / n
+		}
+		for i := 0; i < out.N(); i++ {
+			x, _ := out.Row(i)
+			variance += (x[j] - mean) * (x[j] - mean) / n
+		}
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("column %d mean %v", j, mean)
+		}
+		if j < 2 && math.Abs(variance-1) > 1e-9 {
+			t.Fatalf("column %d variance %v", j, variance)
+		}
+		if j == 2 && variance > 1e-25 {
+			t.Fatalf("constant column got variance %v", variance)
+		}
+	}
+	// Targets untouched.
+	if vec.MaxAbsDiff(out.Target, d.Target) != 0 {
+		t.Fatal("targets changed")
+	}
+	// Dimension mismatch rejected.
+	other := regData(t, 10)
+	if _, err := s.Apply(other); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+// StandInStats builds a 3-column dataset with known statistics: two random
+// columns and one constant column.
+func StandInStats(t *testing.T) (*dataset.Dataset, error) {
+	t.Helper()
+	d := regData(t, 200)
+	m := vec.NewMatrix(200, 3)
+	for i := 0; i < 200; i++ {
+		x, _ := d.Row(i)
+		m.Set(i, 0, 3*x[0]+5)
+		m.Set(i, 1, 0.5*x[1]-2)
+		m.Set(i, 2, 7) // constant
+	}
+	return dataset.New("stats", dataset.Regression, m, d.Target[:200])
+}

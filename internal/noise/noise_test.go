@@ -1,0 +1,122 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nimbus/internal/rng"
+	"nimbus/internal/vec"
+)
+
+func mechanisms() []Mechanism {
+	return []Mechanism{Gaussian{}, Laplace{}, Uniform{}}
+}
+
+// TestUnbiased verifies restriction 1: E[K(h*, w)] = h* (Lemma 2).
+func TestUnbiased(t *testing.T) {
+	src := rng.New(1)
+	h := []float64{1.5, -2, 0, 7}
+	const trials = 60000
+	for _, m := range mechanisms() {
+		sum := vec.Zeros(len(h))
+		for i := 0; i < trials; i++ {
+			vec.AXPY(sum, 1, m.Perturb(h, 2.0, src))
+		}
+		mean := vec.Scale(1/float64(trials), sum)
+		if vec.MaxAbsDiff(mean, h) > 0.02 {
+			t.Errorf("%s: biased mean %v vs %v", m.Name(), mean, h)
+		}
+	}
+}
+
+// TestCalibration verifies Lemma 3: E‖h_δ − h*‖² = δ for every mechanism.
+func TestCalibration(t *testing.T) {
+	src := rng.New(2)
+	h := make([]float64, 8)
+	const trials = 40000
+	for _, m := range mechanisms() {
+		for _, delta := range []float64{0.1, 1, 5} {
+			var s float64
+			for i := 0; i < trials; i++ {
+				noisy := m.Perturb(h, delta, src)
+				s += vec.SqNorm2(vec.Sub(noisy, h))
+			}
+			got := s / trials
+			if math.Abs(got-delta)/delta > 0.05 {
+				t.Errorf("%s δ=%v: E‖w‖² = %v", m.Name(), delta, got)
+			}
+			if got != ExpectedSquaredError(delta) && math.Abs(got-ExpectedSquaredError(delta))/delta > 0.05 {
+				t.Errorf("%s: ExpectedSquaredError mismatch", m.Name())
+			}
+		}
+	}
+}
+
+func TestZeroDeltaIsExactCopy(t *testing.T) {
+	src := rng.New(3)
+	h := []float64{3, -1, 4}
+	for _, m := range mechanisms() {
+		got := m.Perturb(h, 0, src)
+		if vec.MaxAbsDiff(got, h) != 0 {
+			t.Errorf("%s: δ=0 changed the instance", m.Name())
+		}
+	}
+}
+
+func TestPerturbDoesNotMutateInput(t *testing.T) {
+	src := rng.New(4)
+	h := []float64{1, 2, 3}
+	orig := vec.Clone(h)
+	for _, m := range mechanisms() {
+		m.Perturb(h, 1, src)
+		if vec.MaxAbsDiff(h, orig) != 0 {
+			t.Errorf("%s mutated its input", m.Name())
+		}
+	}
+}
+
+func TestNegativeDeltaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delta")
+		}
+	}()
+	Gaussian{}.Perturb([]float64{1}, -1, rng.New(5))
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"gaussian", "laplace", "uniform"} {
+		m, err := ByName(name)
+		if err != nil || m.Name() != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if m, err := ByName(""); err != nil || m.Name() != "gaussian" {
+		t.Fatal("empty name must default to gaussian")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}
+
+// Property: larger δ gives larger average perturbation (restriction 2 for
+// the squared error, checked empirically).
+func TestQuickMonotoneInDelta(t *testing.T) {
+	src := rng.New(6)
+	f := func(seed int64) bool {
+		h := rng.New(seed).NormalVec(6, 1)
+		avg := func(delta float64) float64 {
+			var s float64
+			const k = 2000
+			for i := 0; i < k; i++ {
+				s += vec.SqNorm2(vec.Sub(Gaussian{}.Perturb(h, delta, src), h))
+			}
+			return s / k
+		}
+		return avg(0.5) < avg(4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper's conclusion lists privacy as a core future challenge:
+// "Integrating model-based pricing with data privacy". Because Nimbus
+// already perturbs sold models with calibrated Gaussian noise, each sale is
+// exactly an output-perturbation release, so the standard analytic
+// machinery of the Gaussian mechanism applies. This file quantifies the
+// differential-privacy guarantee a given NCP provides.
+
+// DPGuarantee is an (ε, δ_DP)-differential-privacy statement about a sold
+// model instance.
+type DPGuarantee struct {
+	// Epsilon is the privacy-loss bound ε.
+	Epsilon float64
+	// Delta is the failure probability δ_DP (not the NCP!).
+	Delta float64
+}
+
+// String implements fmt.Stringer.
+func (g DPGuarantee) String() string {
+	return fmt.Sprintf("(ε=%.4g, δ=%.4g)-DP", g.Epsilon, g.Delta)
+}
+
+// GaussianDPEpsilon returns the ε for which the Gaussian mechanism with
+// noise control parameter ncp on a d-dimensional model whose L2 sensitivity
+// is sensitivity satisfies (ε, deltaDP)-differential privacy, via the
+// classical Gaussian-mechanism calibration σ = √(2·ln(1.25/δ_DP))·Δ₂/ε
+// (Dwork & Roth, Theorem A.1). The per-coordinate noise σ of the mechanism
+// is √(ncp/d), so
+//
+//	ε = √(2·ln(1.25/δ_DP)) · Δ₂ / σ.
+//
+// The classical bound is only proven for ε ≤ 1; larger returned values mean
+// the noise level provides no meaningful guarantee at this δ_DP, and the
+// caller should increase the NCP (sell a noisier version) or report the
+// failure to the data owner.
+func GaussianDPEpsilon(ncp float64, d int, sensitivity, deltaDP float64) (DPGuarantee, error) {
+	if ncp <= 0 {
+		return DPGuarantee{}, fmt.Errorf("noise: NCP must be positive, got %v", ncp)
+	}
+	if d <= 0 {
+		return DPGuarantee{}, fmt.Errorf("noise: dimension must be positive, got %d", d)
+	}
+	if sensitivity <= 0 {
+		return DPGuarantee{}, fmt.Errorf("noise: sensitivity must be positive, got %v", sensitivity)
+	}
+	if deltaDP <= 0 || deltaDP >= 1 {
+		return DPGuarantee{}, fmt.Errorf("noise: δ_DP must lie in (0, 1), got %v", deltaDP)
+	}
+	sigma := math.Sqrt(ncp / float64(d))
+	eps := math.Sqrt(2*math.Log(1.25/deltaDP)) * sensitivity / sigma
+	return DPGuarantee{Epsilon: eps, Delta: deltaDP}, nil
+}
+
+// NCPForDP inverts GaussianDPEpsilon: the smallest NCP whose sale satisfies
+// the requested (ε, δ_DP) guarantee. The seller can intersect this with the
+// pricing grid to refuse versions that are too accurate to be private.
+func NCPForDP(eps float64, d int, sensitivity, deltaDP float64) (float64, error) {
+	if eps <= 0 {
+		return 0, fmt.Errorf("noise: ε must be positive, got %v", eps)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("noise: dimension must be positive, got %d", d)
+	}
+	if sensitivity <= 0 {
+		return 0, fmt.Errorf("noise: sensitivity must be positive, got %v", sensitivity)
+	}
+	if deltaDP <= 0 || deltaDP >= 1 {
+		return 0, fmt.Errorf("noise: δ_DP must lie in (0, 1), got %v", deltaDP)
+	}
+	sigma := math.Sqrt(2*math.Log(1.25/deltaDP)) * sensitivity / eps
+	return float64(d) * sigma * sigma, nil
+}
+
+// ERMSensitivity bounds the L2 sensitivity of the optimal model of an
+// L2-regularized empirical-risk objective with a per-example loss that is
+// lipschitz-Lipschitz in the model, trained on n examples:
+//
+//	Δ₂ ≤ 2·G / (n·λ)
+//
+// where λ is the strong-convexity modulus of the regularizer (2·µ for the
+// µ‖w‖² convention of Table 2). This is the classical output-perturbation
+// bound of Chaudhuri, Monteleoni & Sarwate (JMLR 2011), and it covers the
+// menu's logistic regression and SVM (their losses are 1- and 1-Lipschitz
+// per unit-norm example respectively).
+func ERMSensitivity(lipschitz, strongConvexity float64, n int) (float64, error) {
+	if lipschitz <= 0 {
+		return 0, fmt.Errorf("noise: Lipschitz constant must be positive, got %v", lipschitz)
+	}
+	if strongConvexity <= 0 {
+		return 0, fmt.Errorf("noise: strong convexity must be positive, got %v", strongConvexity)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("noise: n must be positive, got %d", n)
+	}
+	return 2 * lipschitz / (float64(n) * strongConvexity), nil
+}

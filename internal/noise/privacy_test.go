@@ -1,0 +1,131 @@
+package noise
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGaussianDPEpsilonRoundTrip(t *testing.T) {
+	const (
+		d      = 20
+		sens   = 0.01
+		dpDel  = 1e-5
+		target = 0.5
+	)
+	ncp, err := NCPForDP(target, d, sens, dpDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GaussianDPEpsilon(ncp, d, sens, dpDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Epsilon-target) > 1e-12 {
+		t.Fatalf("round trip ε = %v, want %v", g.Epsilon, target)
+	}
+	if g.Delta != dpDel {
+		t.Fatalf("δ_DP %v", g.Delta)
+	}
+}
+
+func TestGaussianDPEpsilonMonotone(t *testing.T) {
+	// More noise (larger NCP) means a smaller ε (more privacy).
+	prev := math.Inf(1)
+	for _, ncp := range []float64{0.01, 0.1, 1, 10} {
+		g, err := GaussianDPEpsilon(ncp, 10, 0.05, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Epsilon >= prev {
+			t.Fatalf("ε not decreasing in NCP: %v at %v", g.Epsilon, ncp)
+		}
+		prev = g.Epsilon
+	}
+}
+
+func TestDPValidation(t *testing.T) {
+	if _, err := GaussianDPEpsilon(0, 10, 0.1, 1e-5); err == nil {
+		t.Fatal("zero NCP accepted")
+	}
+	if _, err := GaussianDPEpsilon(1, 0, 0.1, 1e-5); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	if _, err := GaussianDPEpsilon(1, 10, 0, 1e-5); err == nil {
+		t.Fatal("zero sensitivity accepted")
+	}
+	if _, err := GaussianDPEpsilon(1, 10, 0.1, 1.5); err == nil {
+		t.Fatal("bad δ_DP accepted")
+	}
+	if _, err := NCPForDP(0, 10, 0.1, 1e-5); err == nil {
+		t.Fatal("zero ε accepted")
+	}
+	if _, err := NCPForDP(1, -1, 0.1, 1e-5); err == nil {
+		t.Fatal("negative dim accepted")
+	}
+	if _, err := NCPForDP(1, 10, -1, 1e-5); err == nil {
+		t.Fatal("negative sensitivity accepted")
+	}
+	if _, err := NCPForDP(1, 10, 0.1, 0); err == nil {
+		t.Fatal("zero δ_DP accepted")
+	}
+	if _, err := ERMSensitivity(0, 1, 10); err == nil {
+		t.Fatal("zero Lipschitz accepted")
+	}
+	if _, err := ERMSensitivity(1, 0, 10); err == nil {
+		t.Fatal("zero convexity accepted")
+	}
+	if _, err := ERMSensitivity(1, 1, 0); err == nil {
+		t.Fatal("zero n accepted")
+	}
+}
+
+func TestERMSensitivityScaling(t *testing.T) {
+	// Doubling the dataset halves the sensitivity.
+	a, err := ERMSensitivity(1, 0.02, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ERMSensitivity(1, 0.02, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2*b) > 1e-15 {
+		t.Fatalf("sensitivity scaling: %v vs %v", a, b)
+	}
+	// Known value: 2·1/(1000·0.02) = 0.1.
+	if math.Abs(a-0.1) > 1e-15 {
+		t.Fatalf("sensitivity %v, want 0.1", a)
+	}
+}
+
+func TestDPGuaranteeString(t *testing.T) {
+	g := DPGuarantee{Epsilon: 0.5, Delta: 1e-5}
+	if !strings.Contains(g.String(), "0.5") || !strings.Contains(g.String(), "1e-05") {
+		t.Fatalf("String() = %q", g.String())
+	}
+}
+
+func TestRealisticMarketplaceGuarantee(t *testing.T) {
+	// A logistic regression on 100k unit-norm rows with µ = 0.01
+	// (λ_strong = 0.02): the cheapest version (δ = 1) is strongly private,
+	// the best version (δ = 0.01) much less so.
+	sens, err := ERMSensitivity(1, 0.02, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap, err := GaussianDPEpsilon(1, 20, sens, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := GaussianDPEpsilon(0.01, 20, sens, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.Epsilon >= best.Epsilon {
+		t.Fatal("cheaper version must be more private")
+	}
+	if cheap.Epsilon > 0.1 {
+		t.Fatalf("cheap-version ε %v unexpectedly large", cheap.Epsilon)
+	}
+}

@@ -1,0 +1,100 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"nimbus/internal/pricing"
+)
+
+// The four pricing baselines of Section 6.2. All of them produce
+// well-behaved (arbitrage-free) pricing functions — they lose revenue, not
+// safety.
+
+// Lin is the linear baseline: interpolate between the smallest and largest
+// buyer valuations across the quality range.
+func Lin(p *Problem) (*pricing.Function, error) {
+	xs := make([]float64, len(p.points))
+	for i, pt := range p.points {
+		xs[i] = pt.X
+	}
+	lo := p.points[0].Value
+	hi := p.points[len(p.points)-1].Value
+	f, err := pricing.Linear(xs, lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("opt: Lin baseline: %w", err)
+	}
+	return f, nil
+}
+
+// MaxC prices every version at the highest buyer valuation.
+func MaxC(p *Problem) (*pricing.Function, error) {
+	return constant(p, p.points[len(p.points)-1].Value)
+}
+
+// MedC prices every version at the weighted median valuation, so that at
+// least half of the buyer mass can afford a model instance.
+func MedC(p *Problem) (*pricing.Function, error) {
+	type vm struct{ v, m float64 }
+	vals := make([]vm, len(p.points))
+	var total float64
+	for i, pt := range p.points {
+		vals[i] = vm{pt.Value, pt.Mass}
+		total += pt.Mass
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].v > vals[j].v })
+	// Largest price c with mass{v ≥ c} ≥ total/2.
+	var cum float64
+	price := 0.0
+	for _, e := range vals {
+		cum += e.m
+		price = e.v
+		if cum >= total/2 {
+			break
+		}
+	}
+	return constant(p, price)
+}
+
+// OptC prices every version at the revenue-optimal constant price, which is
+// always one of the valuations.
+func OptC(p *Problem) (*pricing.Function, error) {
+	best, bestRev := 0.0, -1.0
+	for _, cand := range p.points {
+		c := cand.Value
+		var rev float64
+		for _, pt := range p.points {
+			if c <= pt.Value+saleTol {
+				rev += pt.Mass * c
+			}
+		}
+		if rev > bestRev {
+			bestRev, best = rev, c
+		}
+	}
+	return constant(p, best)
+}
+
+func constant(p *Problem, c float64) (*pricing.Function, error) {
+	xs := make([]float64, len(p.points))
+	for i, pt := range p.points {
+		xs[i] = pt.X
+	}
+	f, err := pricing.Constant(xs, c)
+	if err != nil {
+		return nil, fmt.Errorf("opt: constant baseline: %w", err)
+	}
+	return f, nil
+}
+
+// Naive prices every version exactly at its valuation with no arbitrage
+// protection — Figure 5(a)'s straw man. It extracts the maximum possible
+// revenue on paper but is NOT arbitrage-free in general; it exists so that
+// the experiments can show the arbitrage region.
+func Naive(p *Problem) (*pricing.Function, error) {
+	pts := make([]pricing.Point, len(p.points))
+	for i, pt := range p.points {
+		pts[i] = pricing.Point{X: pt.X, Price: pt.Value}
+	}
+	return pricing.NewFunction(pts)
+}

@@ -1,0 +1,97 @@
+package opt
+
+import (
+	"fmt"
+	"testing"
+
+	"nimbus/internal/rng"
+)
+
+func benchProblem(n int) *Problem {
+	src := rng.New(99)
+	return randomProblemB(src, n)
+}
+
+// randomProblemB mirrors the test helper without *testing.T plumbing.
+func randomProblemB(src *rng.Source, n int) *Problem {
+	pts := make([]BuyerPoint, n)
+	x, v := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x += 0.5 + 3*src.Float64()
+		v += 10 * src.Float64()
+		pts[i] = BuyerPoint{X: x, Value: v, Mass: 0.1 + src.Float64()}
+	}
+	p, err := NewProblem(pts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func BenchmarkMaximizeRevenueDP(b *testing.B) {
+	for _, n := range []int{10, 100, 500} {
+		p := benchProblem(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := MaximizeRevenueDP(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBruteForce(b *testing.B) {
+	for _, n := range []int{6, 10} {
+		p := benchProblem(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := MaximizeRevenueBruteForce(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkInterpolateL2(b *testing.B) {
+	src := rng.New(101)
+	targets := make([]PricePoint, 50)
+	x := 0.0
+	for i := range targets {
+		x += 0.5 + src.Float64()
+		targets[i] = PricePoint{X: x, Target: 30 * src.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := InterpolateL2(targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpolateL1(b *testing.B) {
+	src := rng.New(102)
+	targets := make([]PricePoint, 20)
+	x := 0.0
+	for i := range targets {
+		x += 0.5 + src.Float64()
+		targets[i] = PricePoint{X: x, Target: 30 * src.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := InterpolateL1(targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAffordabilityConstrainedDP(b *testing.B) {
+	p := benchProblem(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaximizeRevenueWithAffordability(p, 0.8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nimbus/internal/pricing"
+)
+
+// Menu compression: real storefronts show a handful of versions, not the
+// 100-point grid the research curves are sampled on (the paper's runtime
+// figures sweep exactly this "number of price values"). CompressMenu picks
+// k of the buyer points to offer and prices them against *rolled-up*
+// demand: a buyer who wanted quality x buys the cheapest offered version
+// with quality ≥ x (their accuracy requirement is met or exceeded) iff its
+// price is within their valuation; buyers above the best offered version
+// walk away.
+//
+// Pricing a compressed menu is a grouped version of problem (5): each
+// offered version carries a whole demand curve (the valuations of everyone
+// who rolls up to it), not a single (v, b) pair. groupedDP solves it by
+// dynamic programming over price candidates restricted to the observed
+// valuations — the only prices that are ever locally optimal against a
+// step demand curve — under the same monotone + ratio chain constraints,
+// so the resulting menu is arbitrage-free. Selection is greedy forward
+// search on the grouped revenue.
+//
+// A short menu can occasionally *beat* the full menu's revenue — with few
+// versions, low-end buyers are forced to upgrade — the classic versioning
+// effect from the information-goods literature the paper cites.
+
+// CompressedMenu is the result of a compression run.
+type CompressedMenu struct {
+	// Points are the k selected buyer points (sorted by quality).
+	Points []BuyerPoint
+	// Func is the grouped-DP pricing function over the offered qualities.
+	Func *pricing.Function
+	// RolledUpRevenue is the menu's revenue against the full population
+	// under the roll-up model.
+	RolledUpRevenue float64
+	// FullRevenue is the uncompressed DP revenue, for the retention ratio.
+	FullRevenue float64
+}
+
+// Retention is RolledUpRevenue / FullRevenue (can exceed 1: see the
+// versioning effect above).
+func (c *CompressedMenu) Retention() float64 {
+	if c.FullRevenue == 0 {
+		return 1
+	}
+	return c.RolledUpRevenue / c.FullRevenue
+}
+
+// RolledUpRevenue evaluates a menu of offered qualities (sorted ascending)
+// against the full population of p under the roll-up model.
+func RolledUpRevenue(p *Problem, offered []float64, price func(float64) float64) float64 {
+	if len(offered) == 0 {
+		return 0
+	}
+	var rev float64
+	for _, pt := range p.points {
+		// Cheapest offered quality ≥ the buyer's requirement.
+		i := sort.SearchFloat64s(offered, pt.X)
+		if i == len(offered) {
+			continue // nothing good enough on the menu
+		}
+		if c := price(offered[i]); c <= pt.Value+saleTol {
+			rev += pt.Mass * c
+		}
+	}
+	return rev
+}
+
+// group is one offered version and the demand that rolls up to it.
+type group struct {
+	q      float64 // offered quality
+	vals   []float64
+	masses []float64 // aligned with vals
+}
+
+// revenueAt is z · mass{v ≥ z} for the group.
+func (g *group) revenueAt(z float64) float64 {
+	var m float64
+	for i, v := range g.vals {
+		if v >= z-saleTol {
+			m += g.masses[i]
+		}
+	}
+	return z * m
+}
+
+// groupedDP prices the offered qualities against rolled-up demand. Price
+// candidates are the distinct valuations in the population (plus zero);
+// the chain constraints z monotone non-decreasing and z/q non-increasing
+// keep the menu arbitrage-free. Runtime O(K·|Z|²).
+func groupedDP(groups []group, candidates []float64) ([]float64, float64) {
+	k := len(groups)
+	z := append([]float64{0}, candidates...)
+	nz := len(z)
+
+	// best[j] = optimal revenue for groups i.. given z_{i-1} = z[j];
+	// computed backwards. choice[i][j] = candidate index picked.
+	best := make([]float64, nz)
+	next := make([]float64, nz)
+	choice := make([][]int, k)
+	for i := range choice {
+		choice[i] = make([]int, nz)
+	}
+	for i := k - 1; i >= 0; i-- {
+		g := groups[i]
+		for j := 0; j < nz; j++ {
+			prevZ := z[j]
+			// Ratio cap from the previous offered point; the first group
+			// is unconstrained.
+			cap := math.Inf(1)
+			if i > 0 {
+				cap = prevZ / groups[i-1].q * g.q
+			}
+			bestVal := math.Inf(-1)
+			bestC := -1
+			for c := 0; c < nz; c++ {
+				price := z[c]
+				if price < prevZ-saleTol || price > cap+saleTol {
+					continue
+				}
+				val := g.revenueAt(price)
+				if i < k-1 {
+					val += next[c]
+				}
+				if val > bestVal {
+					bestVal, bestC = val, c
+				}
+			}
+			if bestC < 0 {
+				// No feasible candidate (cap below prevZ can't happen since
+				// price=prevZ... defensive: ride the floor).
+				bestVal, bestC = 0, j
+			}
+			best[j] = bestVal
+			choice[i][j] = bestC
+		}
+		best, next = next, best
+	}
+	// After the loop the table for group 0 lives in `next`.
+	prices := make([]float64, k)
+	j := 0 // z_{-1} = 0
+	total := next[0]
+	for i := 0; i < k; i++ {
+		j = choice[i][j]
+		prices[i] = z[j]
+	}
+	return prices, total
+}
+
+// buildGroups partitions the population by roll-up target.
+func buildGroups(all []BuyerPoint, offered []float64) []group {
+	groups := make([]group, len(offered))
+	for i, q := range offered {
+		groups[i].q = q
+	}
+	for _, pt := range all {
+		i := sort.SearchFloat64s(offered, pt.X)
+		if i == len(offered) {
+			continue
+		}
+		groups[i].vals = append(groups[i].vals, pt.Value)
+		groups[i].masses = append(groups[i].masses, pt.Mass)
+	}
+	return groups
+}
+
+// CompressMenu greedily selects a k-version menu. k ≥ p.N() returns the
+// full menu priced by the standard DP.
+func CompressMenu(p *Problem, k int) (*CompressedMenu, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("opt: menu size must be ≥ 1, got %d: %w", k, ErrInvalidProblem)
+	}
+	all := p.Points()
+	fullFunc, fullRev, err := MaximizeRevenueDP(p)
+	if err != nil {
+		return nil, err
+	}
+	if k >= len(all) {
+		return &CompressedMenu{
+			Points: all, Func: fullFunc,
+			RolledUpRevenue: fullRev, FullRevenue: fullRev,
+		}, nil
+	}
+
+	// Distinct valuations are the only locally-optimal prices against a
+	// step demand curve.
+	candSet := map[float64]bool{}
+	for _, pt := range all {
+		candSet[pt.Value] = true
+	}
+	candidates := make([]float64, 0, len(candSet))
+	for v := range candSet {
+		candidates = append(candidates, v)
+	}
+	sort.Float64s(candidates)
+
+	// price evaluates one offered-quality subset with the grouped DP.
+	price := func(offered []float64) ([]float64, float64) {
+		return groupedDP(buildGroups(all, offered), candidates)
+	}
+
+	selected := map[int]bool{}
+	var bestOffered, bestPrices []float64
+	for round := 0; round < k; round++ {
+		roundIdx := -1
+		roundRev := -1.0
+		var roundOffered, roundPrices []float64
+		for i := range all {
+			if selected[i] {
+				continue
+			}
+			offered := make([]float64, 0, round+1)
+			for j := range all {
+				if selected[j] || j == i {
+					offered = append(offered, all[j].X)
+				}
+			}
+			prices, rev := price(offered)
+			if rev > roundRev {
+				roundRev, roundIdx = rev, i
+				roundOffered, roundPrices = offered, prices
+			}
+		}
+		if roundIdx < 0 {
+			break
+		}
+		selected[roundIdx] = true
+		bestOffered, bestPrices = roundOffered, roundPrices
+	}
+
+	knots := make([]pricing.Point, len(bestOffered))
+	for i := range bestOffered {
+		knots[i] = pricing.Point{X: bestOffered[i], Price: bestPrices[i]}
+	}
+	f, err := pricing.NewFunction(knots)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("opt: compressed menu: %w", err)
+	}
+	pts := make([]BuyerPoint, 0, k)
+	for i := range all {
+		if selected[i] {
+			pts = append(pts, all[i])
+		}
+	}
+	return &CompressedMenu{
+		Points: pts, Func: f,
+		RolledUpRevenue: RolledUpRevenue(p, bestOffered, f.Price),
+		FullRevenue:     fullRev,
+	}, nil
+}

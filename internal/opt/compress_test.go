@@ -1,0 +1,270 @@
+package opt
+
+import (
+	"testing"
+
+	"nimbus/internal/rng"
+)
+
+func gridProblem(t *testing.T, n int) *Problem {
+	t.Helper()
+	pts := make([]BuyerPoint, n)
+	for i := 0; i < n; i++ {
+		x := 1 + 99*float64(i)/float64(n-1)
+		pts[i] = BuyerPoint{X: x, Value: 100 / (1 + 100/x), Mass: 1.0 / float64(n)}
+	}
+	p, err := NewProblem(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompressMenuValidation(t *testing.T) {
+	p := gridProblem(t, 10)
+	if _, err := CompressMenu(p, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestCompressMenuFullRecovery(t *testing.T) {
+	p := gridProblem(t, 12)
+	c, err := CompressMenu(p, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Retention() != 1 || len(c.Points) != 12 {
+		t.Fatalf("full menu: retention %v, %d points", c.Retention(), len(c.Points))
+	}
+	// k beyond n also returns the full menu.
+	c, err = CompressMenu(p, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) != 12 {
+		t.Fatalf("oversized k: %d points", len(c.Points))
+	}
+}
+
+func TestCompressMenuRetainsMostRevenue(t *testing.T) {
+	// Under roll-up demand a 5-entry menu captures the bulk of a 40-point
+	// grid's revenue (buyers upgrade to the next offered version).
+	p := gridProblem(t, 40)
+	c, err := CompressMenu(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) != 5 {
+		t.Fatalf("%d points", len(c.Points))
+	}
+	if c.Retention() < 0.7 {
+		t.Fatalf("5/40 menu retains only %.2f", c.Retention())
+	}
+	if err := c.Func.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRolledUpRevenueModel(t *testing.T) {
+	p := gridProblem(t, 4) // qualities 1, 34, 67, 100; lowest valuation ≈ 0.99
+	price := func(x float64) float64 { return 0.5 }
+	// Everything offered at a price below every valuation: all mass sells.
+	if got := RolledUpRevenue(p, []float64{1, 34, 67, 100}, price); got != 0.5 {
+		t.Fatalf("full offering revenue %v (total mass 1 at price 0.5)", got)
+	}
+	// Only the top version offered: everyone rolls up to it.
+	if got := RolledUpRevenue(p, []float64{100}, price); got != 0.5 {
+		t.Fatalf("top-only revenue %v", got)
+	}
+	// Only the bottom version offered: buyers above it walk away.
+	if got := RolledUpRevenue(p, []float64{1}, price); got != 0.125 {
+		t.Fatalf("bottom-only revenue %v", got)
+	}
+	// Empty menu sells nothing.
+	if got := RolledUpRevenue(p, nil, price); got != 0 {
+		t.Fatalf("empty menu revenue %v", got)
+	}
+	// Unaffordable prices sell nothing.
+	expensive := func(float64) float64 { return 1e9 }
+	if got := RolledUpRevenue(p, []float64{100}, expensive); got != 0 {
+		t.Fatalf("unaffordable revenue %v", got)
+	}
+}
+
+func TestGroupedDPSingleGroup(t *testing.T) {
+	// One offered version, demand steps at valuations 10 (mass 3) and 20
+	// (mass 1): price 10 earns 40, price 20 earns 20 → optimum 10.
+	groups := []group{{q: 5, vals: []float64{10, 20}, masses: []float64{3, 1}}}
+	prices, rev := groupedDP(groups, []float64{10, 20})
+	if len(prices) != 1 || prices[0] != 10 || rev != 40 {
+		t.Fatalf("prices %v revenue %v", prices, rev)
+	}
+	// Flip the masses: now price 20 earns 60 vs 40·... vals 10 (mass 1),
+	// 20 (mass 3): price 10 → 40, price 20 → 60.
+	groups = []group{{q: 5, vals: []float64{10, 20}, masses: []float64{1, 3}}}
+	prices, rev = groupedDP(groups, []float64{10, 20})
+	if prices[0] != 20 || rev != 60 {
+		t.Fatalf("prices %v revenue %v", prices, rev)
+	}
+}
+
+func TestGroupedDPChainConstraints(t *testing.T) {
+	// Two offered versions at qualities 1 and 2. Group 1 buyer values 10;
+	// group 2 buyer values 25. Unconstrained the seller would charge
+	// (10, 25), but the ratio chain caps z2 ≤ 2·z1 = 20, and candidates are
+	// {10, 25}: z2 = 25 violates the cap, z2 = 10 sells at 10.
+	// Alternatives: z1 = 25 (no sale in group 1, cap 50) → z2 = 25 sells →
+	// total 25 beats (10, 10) = 20 and is the grouped optimum.
+	groups := []group{
+		{q: 1, vals: []float64{10}, masses: []float64{1}},
+		{q: 2, vals: []float64{25}, masses: []float64{1}},
+	}
+	prices, rev := groupedDP(groups, []float64{10, 25})
+	if rev != 25 {
+		t.Fatalf("revenue %v, want 25 (prices %v)", rev, prices)
+	}
+	if prices[0] != 25 || prices[1] != 25 {
+		t.Fatalf("prices %v, want [25 25]", prices)
+	}
+	// With a richer candidate set the paper's cap-riding price appears:
+	// adding 12.5 lets the seller charge (12.5, 25) for revenue 25 as well
+	// — but charging (10, 20) requires 20 in the set and earns 30.
+	prices, rev = groupedDP(groups, []float64{10, 20, 25})
+	if rev != 30 || prices[0] != 10 || prices[1] != 20 {
+		t.Fatalf("prices %v revenue %v, want [10 20] for 30", prices, rev)
+	}
+}
+
+func TestGroupedDPMatchesPlainDPOnSingletons(t *testing.T) {
+	// When every group holds exactly its own point and candidates include
+	// all cascade values, the grouped DP equals the plain DP (Figure 5).
+	pts := []BuyerPoint{
+		{X: 1, Value: 100, Mass: 0.25},
+		{X: 2, Value: 150, Mass: 0.25},
+		{X: 3, Value: 280, Mass: 0.25},
+		{X: 4, Value: 350, Mass: 0.25},
+	}
+	p, err := NewProblem(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered := []float64{1, 2, 3, 4}
+	// Structural candidates: v_j scaled along the chain.
+	candSet := map[float64]bool{}
+	for _, a := range offered {
+		for _, pt := range pts {
+			candSet[pt.Value*a/pt.X] = true
+		}
+	}
+	var candidates []float64
+	for v := range candSet {
+		candidates = append(candidates, v)
+	}
+	sortFloats(candidates)
+	prices, rev := groupedDP(buildGroups(pts, offered), candidates)
+	_, dpRev, err := MaximizeRevenueDP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev != dpRev {
+		t.Fatalf("grouped %v vs plain DP %v (prices %v)", rev, dpRev, prices)
+	}
+}
+
+func TestBuildGroups(t *testing.T) {
+	pts := []BuyerPoint{
+		{X: 1, Value: 1, Mass: 1},
+		{X: 2, Value: 2, Mass: 1},
+		{X: 3, Value: 3, Mass: 1},
+		{X: 9, Value: 9, Mass: 1}, // above the menu: dropped
+	}
+	groups := buildGroups(pts, []float64{2, 5})
+	if len(groups) != 2 {
+		t.Fatalf("%d groups", len(groups))
+	}
+	if len(groups[0].vals) != 2 { // x=1 and x=2 roll up to q=2
+		t.Fatalf("group 0 has %v", groups[0].vals)
+	}
+	if len(groups[1].vals) != 1 { // x=3 rolls up to q=5
+		t.Fatalf("group 1 has %v", groups[1].vals)
+	}
+}
+
+// TestCompressMenuGreedyNearExact compares the greedy selection against
+// exhaustive enumeration of all k-subsets on small instances: greedy need
+// not be optimal, but it should stay within a reasonable factor.
+func TestCompressMenuGreedyNearExact(t *testing.T) {
+	src := rng.New(97)
+	for trial := 0; trial < 8; trial++ {
+		p := randomProblemB(src, 6)
+		all := p.Points()
+		candSet := map[float64]bool{}
+		for _, pt := range all {
+			candSet[pt.Value] = true
+		}
+		var candidates []float64
+		for v := range candSet {
+			candidates = append(candidates, v)
+		}
+		sortFloats(candidates)
+
+		const k = 2
+		bestExact := 0.0
+		for i := 0; i < len(all); i++ {
+			for j := i + 1; j < len(all); j++ {
+				offered := []float64{all[i].X, all[j].X}
+				prices, _ := groupedDP(buildGroups(all, offered), candidates)
+				f := func(x float64) float64 {
+					if x <= offered[0] {
+						return prices[0]
+					}
+					return prices[1]
+				}
+				if rev := RolledUpRevenue(p, offered, f); rev > bestExact {
+					bestExact = rev
+				}
+			}
+		}
+		c, err := CompressMenu(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.RolledUpRevenue < 0.7*bestExact-1e-9 {
+			t.Fatalf("trial %d: greedy %v far below exact %v", trial, c.RolledUpRevenue, bestExact)
+		}
+		if c.RolledUpRevenue > bestExact+1e-6 {
+			t.Fatalf("trial %d: greedy %v above exact %v (enumeration bug?)", trial, c.RolledUpRevenue, bestExact)
+		}
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestCompressMenuRandomInstances(t *testing.T) {
+	src := rng.New(83)
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblemB(src, 4+src.Intn(8))
+		c, err := CompressMenu(p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Points) > 3 {
+			t.Fatalf("trial %d: %d points", trial, len(c.Points))
+		}
+		if err := c.Func.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The selected points stay sorted and are a subset of the problem.
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].X <= c.Points[i-1].X {
+				t.Fatalf("trial %d: menu not sorted", trial)
+			}
+		}
+	}
+}

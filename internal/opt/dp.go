@@ -1,0 +1,135 @@
+package opt
+
+import (
+	"math"
+
+	"nimbus/internal/pricing"
+)
+
+// MaximizeRevenueDP solves the relaxed revenue-maximization problem (5) for
+// the buyer-valuation objective T_BV exactly, with the paper's O(n²)
+// dynamic program (Algorithm 1, Theorem 13).
+//
+// The state is (k, Δ): the best assignment of prices to points k..n such
+// that every price-per-quality ratio z_j/a_j is at most Δ. Only the n+1
+// values {v_1/a_1, …, v_n/a_n, +∞} of Δ ever occur. At each point the
+// optimum either rides the ratio cap (z_k = Δ·a_k, when that still sells),
+// sells exactly at the valuation (tightening the cap to v_k/a_k), or prices
+// the point out of the market (keeping the cap ratio tight so later points
+// are unconstrained).
+//
+// The returned pricing function satisfies the relaxed-subadditive chain
+// constraints, hence is arbitrage-free (Lemma 8), and its revenue is at
+// least half the coNP-hard exact optimum (Proposition 3).
+func MaximizeRevenueDP(p *Problem) (*pricing.Function, float64, error) {
+	f, err := maximizeDPWithBonus(p, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, p.Revenue(f.Price), nil
+}
+
+// maximizeDPWithBonus runs Algorithm 1 with the objective
+// Σ b_j·(z_j + bonus)·1[sold]. A zero bonus is plain revenue maximization;
+// a positive bonus rewards each sale regardless of price, which the
+// affordability-constrained optimizer sweeps as a Lagrange multiplier. The
+// recurrence arguments of Lemmas 10–12 are unchanged: selling at the
+// highest feasible price still dominates (the bonus is price-independent),
+// and the sell-versus-skip comparison simply carries the extra b_k·bonus on
+// the sell branch.
+func maximizeDPWithBonus(p *Problem, bonus float64) (*pricing.Function, error) {
+	pts := p.points
+	n := len(pts)
+
+	// Δ candidates: ratio caps v_j/a_j plus the unconstrained +∞.
+	deltas := make([]float64, n+1)
+	for j, pt := range pts {
+		deltas[j] = pt.Value / pt.X
+	}
+	deltas[n] = math.Inf(1)
+
+	const (
+		choiceCap  = iota // z_k = Δ·a_k, cap unchanged
+		choiceSell        // z_k = v_k, cap becomes v_k/a_k
+		choiceSkip        // z_k = z_{k+1}·a_k/a_{k+1} (no sale), cap unchanged
+	)
+
+	// opt[k][di] is the best revenue from points k..n-1 under cap deltas[di];
+	// opt[n][di] = 0.
+	opt := make([][]float64, n+1)
+	choice := make([][]uint8, n)
+	for k := range opt {
+		opt[k] = make([]float64, n+1)
+	}
+	for k := range choice {
+		choice[k] = make([]uint8, n+1)
+	}
+
+	deltaIndex := func(j int) int { return j } // cap v_j/a_j has index j
+
+	for k := n - 1; k >= 0; k-- {
+		for di := 0; di <= n; di++ {
+			cap := deltas[di]
+			capped := pts[k].X * cap // Δ·a_k, may be +Inf
+			if capped <= pts[k].Value {
+				// Lemma 11: ride the cap; it sells and dominates.
+				opt[k][di] = pts[k].Mass*(capped+bonus) + opt[k+1][di]
+				choice[k][di] = choiceCap
+				continue
+			}
+			// Lemma 12: sell at v_k (tighter cap downstream) or skip.
+			sell := pts[k].Mass*(pts[k].Value+bonus) + opt[k+1][deltaIndex(k)]
+			skip := opt[k+1][di]
+			if sell >= skip {
+				opt[k][di] = sell
+				choice[k][di] = choiceSell
+			} else {
+				opt[k][di] = skip
+				choice[k][di] = choiceSkip
+			}
+		}
+	}
+
+	// Reconstruct decisions forward, then prices backward (skip prices
+	// cascade down from the next point's price).
+	decisions := make([]uint8, n)
+	di := n // start unconstrained
+	for k := 0; k < n; k++ {
+		decisions[k] = choice[k][di]
+		if decisions[k] == choiceSell {
+			di = deltaIndex(k)
+		}
+	}
+	prices := make([]float64, n)
+	// The caps in force at each point, replayed forward for choiceCap.
+	caps := make([]float64, n)
+	cur := math.Inf(1)
+	for k := 0; k < n; k++ {
+		caps[k] = cur
+		if decisions[k] == choiceSell {
+			cur = deltas[k]
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		switch decisions[k] {
+		case choiceCap:
+			prices[k] = caps[k] * pts[k].X
+		case choiceSell:
+			prices[k] = pts[k].Value
+		case choiceSkip:
+			if k == n-1 {
+				// Nothing to cascade from: price the point out at the cap
+				// (or its valuation-breaking price when unconstrained).
+				if math.IsInf(caps[k], 1) {
+					prices[k] = pts[k].Value // revenue 0 either way; keep finite
+				} else {
+					prices[k] = caps[k] * pts[k].X
+				}
+			} else {
+				prices[k] = prices[k+1] * pts[k].X / pts[k+1].X
+			}
+		}
+	}
+
+	return p.function(prices)
+}

@@ -1,0 +1,115 @@
+package opt
+
+import (
+	"fmt"
+
+	"nimbus/internal/pricing"
+)
+
+// The paper's Section 6.3 observes that revenue maximization and buyer
+// affordability can conflict (MedC beats MBP's affordability in one panel)
+// and leaves the revenue/fairness trade-off to future work. This file
+// implements that extension: maximize revenue subject to a minimum
+// affordability ratio.
+
+// AffordableResult is the outcome of the constrained optimization.
+type AffordableResult struct {
+	// Func is the arbitrage-free pricing function.
+	Func *pricing.Function
+	// Revenue is its T_BV revenue.
+	Revenue float64
+	// Affordability is the achieved buyer-mass fraction that can afford
+	// its version.
+	Affordability float64
+}
+
+// MaximizeRevenueWithAffordability maximizes revenue over the relaxed
+// arbitrage-free prices subject to Affordability ≥ alpha.
+//
+// It sweeps a Lagrangian per-sale bonus through the bonus-extended DP: with
+// bonus 0 the DP is pure revenue maximization; as the bonus grows it pays
+// to sell to more buyer mass at lower prices, and in the limit the DP
+// prices every version within its buyers' valuations (affordability 1, so
+// the constraint is always satisfiable for alpha ≤ 1). Among all sweep
+// solutions meeting the constraint, the highest-revenue one is returned.
+//
+// As with any Lagrangian relaxation, the sweep reaches exactly the points
+// on the upper-concave envelope of the (affordability, revenue) frontier;
+// for targets strictly between two envelope vertices the result satisfies
+// the constraint but may be conservative in revenue. The guarantee that
+// matters for the marketplace — arbitrage-freeness plus the affordability
+// floor — always holds exactly.
+func MaximizeRevenueWithAffordability(p *Problem, alpha float64) (*AffordableResult, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("opt: affordability target %v outside [0, 1]", alpha)
+	}
+	var vmax float64
+	for _, pt := range p.points {
+		if pt.Value > vmax {
+			vmax = pt.Value
+		}
+	}
+	// Bonus sweep: 0, then geometric up to a value that dwarfs any price
+	// (at which point the DP maximizes sold mass outright).
+	bonuses := []float64{0}
+	if vmax > 0 {
+		for b := vmax * 1e-3; b <= vmax*1e6; b *= 2 {
+			bonuses = append(bonuses, b)
+		}
+	} else {
+		bonuses = append(bonuses, 1) // degenerate all-zero valuations
+	}
+
+	var best *AffordableResult
+	for _, bonus := range bonuses {
+		f, err := maximizeDPWithBonus(p, bonus)
+		if err != nil {
+			return nil, err
+		}
+		aff := p.Affordability(f.Price)
+		if aff+1e-12 < alpha {
+			continue
+		}
+		rev := p.Revenue(f.Price)
+		if best == nil || rev > best.Revenue {
+			best = &AffordableResult{Func: f, Revenue: rev, Affordability: aff}
+		}
+	}
+	if best == nil {
+		// The sweep's limit solution should always satisfy alpha ≤ 1; reach
+		// here only on pathological float behaviour. Fall back to zero
+		// prices, which every buyer can afford.
+		zero := make([]float64, p.N())
+		f, err := p.function(zero)
+		if err != nil {
+			return nil, err
+		}
+		best = &AffordableResult{Func: f, Revenue: 0, Affordability: p.Affordability(f.Price)}
+		if best.Affordability+1e-12 < alpha {
+			return nil, fmt.Errorf("opt: affordability %v unreachable (max %v)", alpha, best.Affordability)
+		}
+	}
+	return best, nil
+}
+
+// AffordabilityFrontier sweeps alpha over [0, 1] and reports the
+// revenue/affordability trade-off curve — the fairness frontier left to
+// future work in the paper's conclusion.
+func AffordabilityFrontier(p *Problem, steps int) ([]AffordableResult, error) {
+	if steps < 2 {
+		return nil, fmt.Errorf("opt: need at least 2 frontier steps, got %d", steps)
+	}
+	out := make([]AffordableResult, 0, steps)
+	for i := 0; i < steps; i++ {
+		alpha := float64(i) / float64(steps-1)
+		r, err := MaximizeRevenueWithAffordability(p, alpha)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+	}
+	// The candidate sweep is identical for every alpha and a tighter alpha
+	// only shrinks the feasible subset, so revenue is non-increasing along
+	// the frontier by construction.
+	return out, nil
+}

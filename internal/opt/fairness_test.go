@@ -1,0 +1,126 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"nimbus/internal/rng"
+)
+
+// convexProblem is a workload where pure revenue maximization prices many
+// low-end buyers out (affordability well below 1), so the constraint bites.
+func convexProblem(t *testing.T) *Problem {
+	t.Helper()
+	pts := make([]BuyerPoint, 50)
+	for i := range pts {
+		x := 1 + 99*float64(i)/49
+		pts[i] = BuyerPoint{X: x, Value: x * x / 100, Mass: 1.0 / 50}
+	}
+	p, err := NewProblem(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAffordabilityValidation(t *testing.T) {
+	p := convexProblem(t)
+	for _, alpha := range []float64{-0.1, 1.1} {
+		if _, err := MaximizeRevenueWithAffordability(p, alpha); err == nil {
+			t.Fatalf("alpha %v accepted", alpha)
+		}
+	}
+}
+
+func TestAffordabilityZeroMatchesDP(t *testing.T) {
+	p := convexProblem(t)
+	_, dpRev, err := MaximizeRevenueDP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MaximizeRevenueWithAffordability(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Revenue-dpRev) > 1e-9*(1+dpRev) {
+		t.Fatalf("alpha=0 revenue %v != DP %v", r.Revenue, dpRev)
+	}
+}
+
+func TestAffordabilityConstraintBinds(t *testing.T) {
+	p := convexProblem(t)
+	unconstrained, err := MaximizeRevenueWithAffordability(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unconstrained.Affordability > 0.9 {
+		t.Skipf("workload not selective enough: affordability %v", unconstrained.Affordability)
+	}
+	r, err := MaximizeRevenueWithAffordability(p, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affordability < 0.95 {
+		t.Fatalf("affordability %v below target", r.Affordability)
+	}
+	if r.Revenue > unconstrained.Revenue+1e-9 {
+		t.Fatalf("constrained revenue %v exceeds unconstrained %v", r.Revenue, unconstrained.Revenue)
+	}
+	if err := r.Func.Validate(); err != nil {
+		t.Fatalf("constrained prices not arbitrage-free: %v", err)
+	}
+}
+
+func TestAffordabilityOneAlwaysFeasible(t *testing.T) {
+	src := rng.New(51)
+	for trial := 0; trial < 25; trial++ {
+		p := randomProblem(src, 1+src.Intn(8))
+		r, err := MaximizeRevenueWithAffordability(p, 1)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if r.Affordability < 1-1e-12 {
+			t.Fatalf("trial %d: affordability %v", trial, r.Affordability)
+		}
+		if err := r.Func.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestAffordabilityFrontierMonotone(t *testing.T) {
+	p := convexProblem(t)
+	frontier, err := AffordabilityFrontier(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) != 6 {
+		t.Fatalf("%d frontier points", len(frontier))
+	}
+	for i := 1; i < len(frontier); i++ {
+		if frontier[i].Revenue > frontier[i-1].Revenue+1e-9 {
+			t.Fatalf("frontier revenue increases at %d: %v -> %v", i, frontier[i-1].Revenue, frontier[i].Revenue)
+		}
+	}
+	// The ends: unconstrained revenue at alpha=0, full affordability at 1.
+	if frontier[len(frontier)-1].Affordability < 1-1e-12 {
+		t.Fatalf("frontier end affordability %v", frontier[len(frontier)-1].Affordability)
+	}
+	if _, err := AffordabilityFrontier(p, 1); err == nil {
+		t.Fatal("degenerate frontier accepted")
+	}
+}
+
+func TestAffordabilityZeroValuations(t *testing.T) {
+	p, err := NewProblem([]BuyerPoint{{X: 1, Value: 0, Mass: 1}, {X: 2, Value: 0, Mass: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MaximizeRevenueWithAffordability(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affordability != 1 || r.Revenue != 0 {
+		t.Fatalf("zero-valuation result %+v", r)
+	}
+}

@@ -1,0 +1,65 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMaximizeRevenueDP throws arbitrary three-point markets at the DP:
+// inputs are either rejected by validation or produce an arbitrage-free
+// function whose revenue matches its own evaluation.
+func FuzzMaximizeRevenueDP(f *testing.F) {
+	f.Add(1.0, 100.0, 0.25, 2.0, 150.0, 0.25, 3.0, 280.0, 0.25)
+	f.Add(0.5, 0.0, 1.0, 1.0, 0.0, 1.0, 2.0, 5.0, 0.0)
+	f.Fuzz(func(t *testing.T, x1, v1, m1, x2, v2, m2, x3, v3, m3 float64) {
+		pts := Monotonize([]BuyerPoint{
+			{X: x1, Value: v1, Mass: m1},
+			{X: x2, Value: v2, Mass: m2},
+			{X: x3, Value: v3, Mass: m3},
+		})
+		p, err := NewProblem(pts)
+		if err != nil {
+			return
+		}
+		fn, rev, err := MaximizeRevenueDP(p)
+		if err != nil {
+			t.Fatalf("DP failed on valid problem: %v", err)
+		}
+		if math.IsNaN(rev) || rev < 0 {
+			t.Fatalf("revenue %v", rev)
+		}
+		if err := fn.Validate(); err != nil {
+			t.Fatalf("DP produced arbitrage: %v", err)
+		}
+		if got := p.Revenue(fn.Price); math.Abs(got-rev) > 1e-6*(1+math.Abs(rev)) {
+			t.Fatalf("evaluated %v vs reported %v", got, rev)
+		}
+	})
+}
+
+// FuzzCompressMenu checks the grouped-DP compression on arbitrary inputs:
+// no panics, valid output prices.
+func FuzzCompressMenu(f *testing.F) {
+	f.Add(1.0, 10.0, 1.0, 2.0, 20.0, 1.0, 4.0, 30.0, 1.0)
+	f.Fuzz(func(t *testing.T, x1, v1, m1, x2, v2, m2, x3, v3, m3 float64) {
+		pts := Monotonize([]BuyerPoint{
+			{X: x1, Value: v1, Mass: m1},
+			{X: x2, Value: v2, Mass: m2},
+			{X: x3, Value: v3, Mass: m3},
+		})
+		p, err := NewProblem(pts)
+		if err != nil {
+			return
+		}
+		c, err := CompressMenu(p, 2)
+		if err != nil {
+			t.Fatalf("compress failed on valid problem: %v", err)
+		}
+		if err := c.Func.Validate(); err != nil {
+			t.Fatalf("compressed menu has arbitrage: %v", err)
+		}
+		if math.IsNaN(c.RolledUpRevenue) || c.RolledUpRevenue < 0 {
+			t.Fatalf("rolled-up revenue %v", c.RolledUpRevenue)
+		}
+	})
+}

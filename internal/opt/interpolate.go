@@ -1,0 +1,246 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"nimbus/internal/isotone"
+	"nimbus/internal/lp"
+	"nimbus/internal/pricing"
+)
+
+// PricePoint is a seller-desired price point for interpolation: at quality
+// X the seller would like to charge Target.
+type PricePoint struct {
+	X      float64
+	Target float64
+}
+
+func validateTargets(targets []PricePoint) error {
+	if len(targets) == 0 {
+		return fmt.Errorf("opt: no interpolation targets: %w", ErrInvalidProblem)
+	}
+	for i, p := range targets {
+		if p.X <= 0 || math.IsNaN(p.X) || math.IsInf(p.X, 0) {
+			return fmt.Errorf("opt: target %d has invalid quality %v: %w", i, p.X, ErrInvalidProblem)
+		}
+		if p.Target < 0 || math.IsNaN(p.Target) || math.IsInf(p.Target, 0) {
+			return fmt.Errorf("opt: target %d has invalid price %v: %w", i, p.Target, ErrInvalidProblem)
+		}
+		if i > 0 && p.X <= targets[i-1].X {
+			return fmt.Errorf("opt: target qualities must be strictly increasing: %w", ErrInvalidProblem)
+		}
+	}
+	return nil
+}
+
+// InterpolateL2 solves the relaxed price-interpolation program with the
+// squared objective T²_PI:
+//
+//	min Σ (z_j − P_j)²  s.t.  z non-decreasing, z_j/a_j non-increasing, z ≥ 0,
+//
+// by Dykstra's alternating projections between the two chain cones, each
+// projected exactly by (weighted) pool-adjacent-violators. By Proposition 2
+// the optimal relaxed objective is within Σ P_j²/2 of the coNP-hard exact
+// program. Targets must be sorted by strictly increasing quality.
+func InterpolateL2(targets []PricePoint) (*pricing.Function, error) {
+	return InterpolateL2Weighted(targets, nil)
+}
+
+// InterpolateL2Weighted solves the weighted variant
+//
+//	min Σ w_j·(z_j − P_j)²
+//
+// under the same chain constraints, letting the seller emphasize the price
+// points that matter commercially. nil weights mean all ones; weights must
+// be positive.
+func InterpolateL2Weighted(targets []PricePoint, weights []float64) (*pricing.Function, error) {
+	if err := validateTargets(targets); err != nil {
+		return nil, err
+	}
+	n := len(targets)
+	if weights == nil {
+		weights = make([]float64, n)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != n {
+		return nil, fmt.Errorf("opt: %d weights for %d targets: %w", len(weights), n, ErrInvalidProblem)
+	}
+	for i, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("opt: weight %d is %v, must be positive finite: %w", i, w, ErrInvalidProblem)
+		}
+	}
+	y := make([]float64, n)
+	a := make([]float64, n)
+	for i, p := range targets {
+		y[i] = p.Target
+		a[i] = p.X
+	}
+	// Dykstra's algorithm over C1 = {z monotone ↑, z ≥ 0} and
+	// C2 = {z: z/a antitonic}, with projections in the w-weighted norm.
+	z := append([]float64(nil), y...)
+	p1 := make([]float64, n) // correction for C1
+	p2 := make([]float64, n) // correction for C2
+	tmp := make([]float64, n)
+	ratioW := make([]float64, n)
+	for i := range a {
+		ratioW[i] = weights[i] * a[i] * a[i]
+	}
+	const maxIter = 5000
+	const tol = 1e-11
+	for iter := 0; iter < maxIter; iter++ {
+		// Project z + p1 onto C1 (weighted isotonic, then clamp at 0).
+		for i := range tmp {
+			tmp[i] = z[i] + p1[i]
+		}
+		proj, err := isotone.Regress(tmp, weights)
+		if err != nil {
+			return nil, err
+		}
+		for i := range proj {
+			if proj[i] < 0 {
+				proj[i] = 0
+			}
+		}
+		for i := range p1 {
+			p1[i] = tmp[i] - proj[i]
+		}
+		z1 := proj
+
+		// Project z1 + p2 onto C2 (in ratio space, weighted by w·a²).
+		maxDiff := 0.0
+		for i := range tmp {
+			tmp[i] = (z1[i] + p2[i]) / a[i]
+		}
+		ratios, err := isotone.RegressAntitonic(tmp, ratioW)
+		if err != nil {
+			return nil, err
+		}
+		for i := range ratios {
+			nz := ratios[i] * a[i]
+			p2[i] = (z1[i] + p2[i]) - nz
+			if d := math.Abs(nz - z[i]); d > maxDiff {
+				maxDiff = d
+			}
+			z[i] = nz
+		}
+		if maxDiff < tol {
+			break
+		}
+	}
+	// Clean residual numerical violations before constructing the function.
+	z = enforceChains(z, a)
+	return functionFromKnots(a, z)
+}
+
+// InterpolateL1 solves the relaxed price-interpolation program with the
+// absolute-error objective T^∞_PI (the paper's ℓ(x,y) = |x−y| variant):
+//
+//	min Σ t_j  s.t.  t_j ≥ |z_j − P_j|, chains as in (5),
+//
+// exactly, as a linear program on the package's simplex solver. By
+// Proposition 2 the optimum is within Σ P_j/2 of the exact program.
+func InterpolateL1(targets []PricePoint) (*pricing.Function, error) {
+	if err := validateTargets(targets); err != nil {
+		return nil, err
+	}
+	n := len(targets)
+	prob := lp.NewProblem()
+	zs := make([]int, n)
+	ts := make([]int, n)
+	for i := range targets {
+		zs[i] = prob.AddVar(0)
+	}
+	for i := range targets {
+		ts[i] = prob.AddVar(1)
+	}
+	for i, p := range targets {
+		// t_i ≥ z_i − P_i  and  t_i ≥ P_i − z_i.
+		if err := prob.AddConstraint(map[int]float64{ts[i]: 1, zs[i]: -1}, lp.GE, -p.Target); err != nil {
+			return nil, err
+		}
+		if err := prob.AddConstraint(map[int]float64{ts[i]: 1, zs[i]: 1}, lp.GE, p.Target); err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			// Monotone: z_i ≥ z_{i-1}.
+			if err := prob.AddConstraint(map[int]float64{zs[i]: 1, zs[i-1]: -1}, lp.GE, 0); err != nil {
+				return nil, err
+			}
+			// Ratio: z_{i-1}/a_{i-1} ≥ z_i/a_i ⇔ a_i·z_{i-1} − a_{i-1}·z_i ≥ 0.
+			if err := prob.AddConstraint(map[int]float64{zs[i-1]: p.X, zs[i]: -targets[i-1].X}, lp.GE, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("opt: L1 interpolation LP: %w", err)
+	}
+	a := make([]float64, n)
+	z := make([]float64, n)
+	for i, p := range targets {
+		a[i] = p.X
+		z[i] = sol.X[zs[i]]
+	}
+	z = enforceChains(z, a)
+	return functionFromKnots(a, z)
+}
+
+// enforceChains repairs tiny numerical violations of the monotone and ratio
+// chains (from iterative or LP round-off) without moving prices more than
+// the violation magnitude.
+func enforceChains(z, a []float64) []float64 {
+	out := append([]float64(nil), z...)
+	for i := range out {
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			out[i] = out[i-1]
+		}
+		if cap := out[i-1] / a[i-1] * a[i]; out[i] > cap {
+			out[i] = cap
+		}
+	}
+	return out
+}
+
+func functionFromKnots(a, z []float64) (*pricing.Function, error) {
+	pts := make([]pricing.Point, len(a))
+	for i := range a {
+		pts[i] = pricing.Point{X: a[i], Price: z[i]}
+	}
+	f, err := pricing.NewFunction(pts)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// L2Objective evaluates T²_PI's loss Σ (p(a_j) − P_j)² for a price function.
+func L2Objective(targets []PricePoint, price func(float64) float64) float64 {
+	var s float64
+	for _, t := range targets {
+		d := price(t.X) - t.Target
+		s += d * d
+	}
+	return s
+}
+
+// L1Objective evaluates Σ |p(a_j) − P_j|.
+func L1Objective(targets []PricePoint, price func(float64) float64) float64 {
+	var s float64
+	for _, t := range targets {
+		s += math.Abs(price(t.X) - t.Target)
+	}
+	return s
+}

@@ -1,0 +1,251 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"nimbus/internal/pricing"
+	"nimbus/internal/rng"
+)
+
+func TestInterpolateValidation(t *testing.T) {
+	bad := [][]PricePoint{
+		{},
+		{{X: -1, Target: 1}},
+		{{X: 1, Target: -2}},
+		{{X: 1, Target: 1}, {X: 1, Target: 2}}, // duplicate
+		{{X: 2, Target: 1}, {X: 1, Target: 2}}, // unsorted
+		{{X: 1, Target: math.Inf(1)}},          // non-finite
+		{{X: math.NaN(), Target: 1}},           // NaN
+	}
+	for i, targets := range bad {
+		if _, err := InterpolateL2(targets); err == nil {
+			t.Errorf("L2 case %d accepted", i)
+		}
+		if _, err := InterpolateL1(targets); err == nil {
+			t.Errorf("L1 case %d accepted", i)
+		}
+	}
+}
+
+func TestInterpolateFeasibleTargetsExact(t *testing.T) {
+	// Already-feasible targets must be reproduced exactly by both solvers.
+	targets := []PricePoint{{X: 1, Target: 10}, {X: 2, Target: 15}, {X: 4, Target: 20}}
+	for name, solve := range map[string]func([]PricePoint) (*pricing.Function, error){
+		"L2": InterpolateL2, "L1": InterpolateL1,
+	} {
+		f, err := solve(targets)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, tg := range targets {
+			if math.Abs(f.Price(tg.X)-tg.Target) > 1e-6 {
+				t.Fatalf("%s: price(%v) = %v, want %v", name, tg.X, f.Price(tg.X), tg.Target)
+			}
+		}
+	}
+}
+
+func TestInterpolateInfeasibleTargets(t *testing.T) {
+	// Superadditive targets (ratio rises) cannot be matched; the solvers
+	// must return the closest feasible function.
+	targets := []PricePoint{{X: 1, Target: 10}, {X: 2, Target: 25}}
+	for name, solve := range map[string]func([]PricePoint) (*pricing.Function, error){
+		"L2": InterpolateL2, "L1": InterpolateL1,
+	} {
+		f, err := solve(targets)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s result not arbitrage-free: %v", name, err)
+		}
+	}
+	// For L2 the exact projection is computable by hand: minimize
+	// (z1-10)² + (z2-25)² s.t. z2 ≤ 2·z1, z2 ≥ z1. Lagrange on z2 = 2z1:
+	// minimize (z1-10)² + (2z1-25)² → z1 = (10+50)/5 = 12, z2 = 24.
+	f, err := InterpolateL2(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Price(1)-12) > 1e-6 || math.Abs(f.Price(2)-24) > 1e-6 {
+		t.Fatalf("L2 projection = (%v, %v), want (12, 24)", f.Price(1), f.Price(2))
+	}
+}
+
+func TestInterpolateL2MatchesGridSearch(t *testing.T) {
+	src := rng.New(29)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + src.Intn(2)
+		targets := make([]PricePoint, n)
+		x := 0.0
+		for i := 0; i < n; i++ {
+			x += 0.5 + src.Float64()
+			targets[i] = PricePoint{X: x, Target: math.Round(src.Float64() * 20)}
+		}
+		f, err := InterpolateL2(targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := L2Objective(targets, f.Price)
+		want := gridSearchL2(targets, 120)
+		if got > want+0.05*(1+want) {
+			t.Fatalf("trial %d: Dykstra objective %v vs grid %v (targets %v)", trial, got, want, targets)
+		}
+	}
+}
+
+func TestInterpolateL1MatchesGridSearch(t *testing.T) {
+	src := rng.New(30)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + src.Intn(2)
+		targets := make([]PricePoint, n)
+		x := 0.0
+		for i := 0; i < n; i++ {
+			x += 0.5 + src.Float64()
+			targets[i] = PricePoint{X: x, Target: math.Round(src.Float64() * 20)}
+		}
+		f, err := InterpolateL1(targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := L1Objective(targets, f.Price)
+		want := gridSearchL1(targets, 120)
+		if got > want+0.05*(1+want) {
+			t.Fatalf("trial %d: LP objective %v vs grid %v (targets %v)", trial, got, want, targets)
+		}
+	}
+}
+
+func gridSearch(targets []PricePoint, steps int, obj func(z []float64) float64) float64 {
+	n := len(targets)
+	maxP := 0.0
+	for _, t := range targets {
+		if t.Target > maxP {
+			maxP = t.Target
+		}
+	}
+	maxP = maxP*1.2 + 1
+	best := math.Inf(1)
+	z := make([]float64, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if v := obj(z); v < best {
+				best = v
+			}
+			return
+		}
+		for s := 0; s <= steps; s++ {
+			v := maxP * float64(s) / float64(steps)
+			if i > 0 {
+				if v < z[i-1]-1e-12 || v/targets[i].X > z[i-1]/targets[i-1].X+1e-12 {
+					continue
+				}
+			}
+			z[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func gridSearchL2(targets []PricePoint, steps int) float64 {
+	return gridSearch(targets, steps, func(z []float64) float64 {
+		var s float64
+		for i, t := range targets {
+			s += (z[i] - t.Target) * (z[i] - t.Target)
+		}
+		return s
+	})
+}
+
+func gridSearchL1(targets []PricePoint, steps int) float64 {
+	return gridSearch(targets, steps, func(z []float64) float64 {
+		var s float64
+		for i, t := range targets {
+			s += math.Abs(z[i] - t.Target)
+		}
+		return s
+	})
+}
+
+func TestInterpolationResultsAreArbitrageFree(t *testing.T) {
+	src := rng.New(31)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + src.Intn(7)
+		targets := make([]PricePoint, n)
+		x := 0.0
+		for i := 0; i < n; i++ {
+			x += 0.3 + 2*src.Float64()
+			targets[i] = PricePoint{X: x, Target: 30 * src.Float64()}
+		}
+		for name, solve := range map[string]func([]PricePoint) (*pricing.Function, error){
+			"L2": InterpolateL2, "L1": InterpolateL1,
+		} {
+			f, err := solve(targets)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if err := f.Validate(); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if err := pricing.CheckSubadditiveOnGrid(f.Price, 2*x, 30); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+		}
+	}
+}
+
+func TestInterpolateL2Weighted(t *testing.T) {
+	// Infeasible targets: the heavier point wins the tug of war. With
+	// targets (1→10, 2→25) the constraint binds at z2 = 2·z1; minimizing
+	// w1(z1−10)² + w2(2z1−25)² gives z1 = (w1·10 + 2·w2·25)/(w1 + 4·w2).
+	targets := []PricePoint{{X: 1, Target: 10}, {X: 2, Target: 25}}
+	heavyTop, err := InterpolateL2Weighted(targets, []float64{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantZ1 := (1*10 + 2*100*25.0) / (1 + 4*100.0)
+	if math.Abs(heavyTop.Price(1)-wantZ1) > 1e-6 {
+		t.Fatalf("weighted z1 = %v, want %v", heavyTop.Price(1), wantZ1)
+	}
+	// Heavier weight on the top point pulls its price closer to the target
+	// than the unweighted solution does.
+	plain, err := InterpolateL2(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(heavyTop.Price(2)-25) >= math.Abs(plain.Price(2)-25) {
+		t.Fatalf("weighting did not pull the top point: %v vs %v", heavyTop.Price(2), plain.Price(2))
+	}
+	// Validation.
+	if _, err := InterpolateL2Weighted(targets, []float64{1}); err == nil {
+		t.Fatal("weight length mismatch accepted")
+	}
+	if _, err := InterpolateL2Weighted(targets, []float64{1, 0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := InterpolateL2Weighted(targets, []float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+}
+
+func TestObjectiveHelpers(t *testing.T) {
+	targets := []PricePoint{{X: 1, Target: 10}, {X: 2, Target: 20}}
+	price := func(x float64) float64 { return 10 * x }
+	if got := L2Objective(targets, price); got != 0 {
+		t.Fatalf("L2Objective = %v", got)
+	}
+	if got := L1Objective(targets, price); got != 0 {
+		t.Fatalf("L1Objective = %v", got)
+	}
+	price2 := func(x float64) float64 { return 10*x + 1 }
+	if got := L2Objective(targets, price2); got != 2 {
+		t.Fatalf("L2Objective = %v, want 2", got)
+	}
+	if got := L1Objective(targets, price2); got != 2 {
+		t.Fatalf("L1Objective = %v, want 2", got)
+	}
+}

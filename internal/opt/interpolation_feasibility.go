@@ -1,0 +1,132 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SUBADDITIVE INTERPOLATION (Definition 6) is the decision problem at the
+// heart of the paper's hardness result (Theorem 7): given price points
+// (a_j, P_j), does a positive, monotone, subadditive function p with
+// p(a_j) = P_j exist? The paper proves it coNP-hard by reduction from
+// UNBOUNDED SUBSET-SUM, so any exact decider — including this one — takes
+// worst-case exponential time; it is here for completeness, for the
+// test-suite's cross-checks, and because small instances (the paper's
+// experiments use ≤ 10 price points) decide instantly.
+//
+// The decision uses the covering envelope: let
+//
+//	µ(x) = min { Σ k_w·P_w : Σ k_w·a_w ≥ x, k_w ∈ ℕ }
+//
+// be the cheapest way to assemble quality at least x from copies of the
+// offered points. Any monotone subadditive p with p(a_w) ≤ P_w satisfies
+// p ≤ µ pointwise, and µ itself is monotone and subadditive. Hence an
+// interpolation exists iff the targets are non-decreasing and no point is
+// undercut by combinations of the others: µ(a_j) = P_j for every j.
+func SubadditiveInterpolationFeasible(targets []PricePoint) (bool, error) {
+	if err := validateTargets(targets); err != nil {
+		return false, err
+	}
+	qual := make([]float64, len(targets))
+	cost := make([]float64, len(targets))
+	for i, t := range targets {
+		if t.Target <= 0 {
+			// Definition 6 demands a positive function; a zero target is
+			// unreachable (and a zero-price point would undercut everything).
+			return false, nil
+		}
+		qual[i] = t.X
+		cost[i] = t.Target
+	}
+	if !sort.SliceIsSorted(targets, func(i, j int) bool { return targets[i].Target <= targets[j].Target }) {
+		return false, nil // monotonicity violated outright
+	}
+	env := newCoveringEnvelope(qual, cost)
+	for _, t := range targets {
+		if env.price(t.X) < t.Target-1e-9*(1+t.Target) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// UnboundedSubsetSumReachable decides whether target is expressible as
+// Σ k_i·weights_i with k_i ∈ ℕ — the UNBOUNDED SUBSET-SUM problem the
+// Theorem 7 reduction starts from. Exposed so the tests can exercise the
+// reduction in both directions.
+func UnboundedSubsetSumReachable(weights []int, target int) (bool, error) {
+	if target < 0 {
+		return false, fmt.Errorf("opt: negative subset-sum target %d", target)
+	}
+	if target == 0 {
+		return true, nil
+	}
+	reach := make([]bool, target+1)
+	reach[0] = true
+	for _, w := range weights {
+		if w <= 0 {
+			return false, fmt.Errorf("opt: subset-sum weights must be positive, got %d", w)
+		}
+		for s := w; s <= target; s++ {
+			if reach[s-w] {
+				reach[s] = true
+			}
+		}
+	}
+	return reach[target], nil
+}
+
+// Theorem7Instance builds the PRICE INTERPOLATION instance of the paper's
+// reduction for weights w_1 < … < w_n < K: points (w_j, w_j) plus the probe
+// point (K, K + ½). By Theorem 7 the instance is interpolable iff no
+// unbounded subset sum hits K exactly.
+func Theorem7Instance(weights []int, k int) ([]PricePoint, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("opt: reduction needs weights")
+	}
+	sorted := append([]int(nil), weights...)
+	sort.Ints(sorted)
+	pts := make([]PricePoint, 0, len(sorted)+1)
+	for i, w := range sorted {
+		if w <= 0 {
+			return nil, fmt.Errorf("opt: weights must be positive, got %d", w)
+		}
+		if i > 0 && w == sorted[i-1] {
+			continue // duplicate weights add nothing
+		}
+		if w >= k {
+			return nil, fmt.Errorf("opt: reduction requires weights < K (got %d ≥ %d)", w, k)
+		}
+		pts = append(pts, PricePoint{X: float64(w), Target: float64(w)})
+	}
+	pts = append(pts, PricePoint{X: float64(k), Target: float64(k) + 0.5})
+	return pts, nil
+}
+
+// MaxInterpolationViolation quantifies how far given targets are from
+// interpolable: the largest amount by which a combination of points
+// undercuts a target, max_j (P_j − µ(a_j)). Zero (up to float noise) means
+// feasible for monotone targets; sellers can use it to see which desired
+// price is the arbitrage hole.
+func MaxInterpolationViolation(targets []PricePoint) (float64, int, error) {
+	if err := validateTargets(targets); err != nil {
+		return 0, -1, err
+	}
+	qual := make([]float64, len(targets))
+	cost := make([]float64, len(targets))
+	for i, t := range targets {
+		qual[i] = t.X
+		cost[i] = t.Target
+	}
+	env := newCoveringEnvelope(qual, cost)
+	worst, worstIdx := 0.0, -1
+	for j, t := range targets {
+		if v := t.Target - env.price(t.X); v > worst {
+			worst, worstIdx = v, j
+		}
+	}
+	if worstIdx < 0 {
+		return 0, -1, nil
+	}
+	return worst, worstIdx, nil
+}

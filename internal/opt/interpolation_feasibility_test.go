@@ -1,0 +1,141 @@
+package opt
+
+import (
+	"testing"
+
+	"nimbus/internal/rng"
+)
+
+func TestSubadditiveInterpolationFeasibleBasics(t *testing.T) {
+	// A concave, monotone set of targets is trivially interpolable.
+	ok, err := SubadditiveInterpolationFeasible([]PricePoint{
+		{X: 1, Target: 10}, {X: 2, Target: 15}, {X: 4, Target: 20},
+	})
+	if err != nil || !ok {
+		t.Fatalf("concave targets: ok=%v err=%v", ok, err)
+	}
+	// Dropping targets violates monotonicity.
+	ok, err = SubadditiveInterpolationFeasible([]PricePoint{
+		{X: 1, Target: 10}, {X: 2, Target: 5},
+	})
+	if err != nil || ok {
+		t.Fatalf("non-monotone targets accepted: ok=%v err=%v", ok, err)
+	}
+	// Doubling quality more than doubles the price: combinations undercut.
+	ok, err = SubadditiveInterpolationFeasible([]PricePoint{
+		{X: 1, Target: 10}, {X: 2, Target: 25},
+	})
+	if err != nil || ok {
+		t.Fatalf("superadditive targets accepted: ok=%v err=%v", ok, err)
+	}
+	// Zero targets are not positive functions.
+	ok, err = SubadditiveInterpolationFeasible([]PricePoint{{X: 1, Target: 0}})
+	if err != nil || ok {
+		t.Fatalf("zero target accepted: ok=%v err=%v", ok, err)
+	}
+	if _, err := SubadditiveInterpolationFeasible(nil); err == nil {
+		t.Fatal("empty targets accepted")
+	}
+}
+
+func TestUnboundedSubsetSum(t *testing.T) {
+	cases := []struct {
+		weights []int
+		target  int
+		want    bool
+	}{
+		{[]int{2, 3}, 7, true}, // 2+2+3
+		{[]int{2, 3}, 1, false},
+		{[]int{5, 7}, 11, false},
+		{[]int{5, 7}, 12, true},
+		{[]int{4, 6}, 9, false}, // parity
+		{[]int{4, 6}, 10, true},
+		{[]int{3}, 0, true},
+	}
+	for _, c := range cases {
+		got, err := UnboundedSubsetSumReachable(c.weights, c.target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("reachable(%v, %d) = %v, want %v", c.weights, c.target, got, c.want)
+		}
+	}
+	if _, err := UnboundedSubsetSumReachable([]int{0}, 3); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := UnboundedSubsetSumReachable([]int{2}, -1); err == nil {
+		t.Fatal("negative target accepted")
+	}
+}
+
+// TestTheorem7Reduction exercises the paper's reduction in both directions:
+// the interpolation instance is feasible iff no unbounded subset sum hits K.
+func TestTheorem7Reduction(t *testing.T) {
+	src := rng.New(61)
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + src.Intn(3)
+		weights := make([]int, 0, n)
+		seen := map[int]bool{}
+		for len(weights) < n {
+			w := 2 + src.Intn(8)
+			if !seen[w] {
+				seen[w] = true
+				weights = append(weights, w)
+			}
+		}
+		k := 10 + src.Intn(15)
+		reachable, err := UnboundedSubsetSumReachable(weights, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instance, err := Theorem7Instance(weights, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible, err := SubadditiveInterpolationFeasible(instance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if feasible == reachable {
+			t.Fatalf("trial %d: weights=%v K=%d reachable=%v but feasible=%v",
+				trial, weights, k, reachable, feasible)
+		}
+	}
+	if _, err := Theorem7Instance(nil, 5); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := Theorem7Instance([]int{5}, 5); err == nil {
+		t.Fatal("weight ≥ K accepted")
+	}
+	if _, err := Theorem7Instance([]int{-1}, 5); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestMaxInterpolationViolation(t *testing.T) {
+	// Feasible targets have zero violation.
+	v, idx, err := MaxInterpolationViolation([]PricePoint{
+		{X: 1, Target: 10}, {X: 2, Target: 15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 || idx != -1 {
+		t.Fatalf("violation %v at %d for feasible targets", v, idx)
+	}
+	// The superadditive pair is undercut by 2×10 = 20 < 25, violation 5 at
+	// the second point.
+	v, idx, err = MaxInterpolationViolation([]PricePoint{
+		{X: 1, Target: 10}, {X: 2, Target: 25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || v < 4.999 || v > 5.001 {
+		t.Fatalf("violation %v at %d, want 5 at 1", v, idx)
+	}
+	if _, _, err := MaxInterpolationViolation(nil); err == nil {
+		t.Fatal("empty targets accepted")
+	}
+}

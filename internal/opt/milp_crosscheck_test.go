@@ -1,0 +1,108 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"nimbus/internal/lp"
+	"nimbus/internal/rng"
+)
+
+// solveRelaxedViaMILP solves problem (5) with the T_BV objective as a
+// mixed-integer program on the package's own branch-and-bound solver — an
+// algorithm-independent oracle for the dynamic program.
+//
+// Variables per point j: price z_j ≥ 0, sale indicator s_j ∈ {0,1}, and
+// collected revenue r_j with
+//
+//	r_j ≤ z_j,  r_j ≤ M·s_j,  z_j ≤ v_j + M·(1 − s_j)
+//
+// plus the chain constraints z_{j} ≥ z_{j-1} and a_j·z_{j-1} ≥ a_{j-1}·z_j,
+// maximizing Σ b_j·r_j.
+func solveRelaxedViaMILP(t *testing.T, p *Problem) float64 {
+	t.Helper()
+	pts := p.Points()
+	n := len(pts)
+	vMax := pts[n-1].Value
+	// Chain-feasible prices never need to exceed v_n·a_j/a_1 to be useful;
+	// a single global cap keeps the formulation bounded.
+	bigM := vMax*pts[n-1].X/pts[0].X + 1
+
+	prob := lp.NewProblem()
+	prob.Maximize = true
+	z := make([]int, n)
+	s := make([]int, n)
+	r := make([]int, n)
+	for j := 0; j < n; j++ {
+		z[j] = prob.AddVar(0)
+	}
+	for j := 0; j < n; j++ {
+		s[j] = prob.AddVar(0)
+	}
+	for j, pt := range pts {
+		r[j] = prob.AddVar(pt.Mass)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j, pt := range pts {
+		must(prob.AddConstraint(map[int]float64{s[j]: 1}, lp.LE, 1))
+		must(prob.AddConstraint(map[int]float64{r[j]: 1, z[j]: -1}, lp.LE, 0))
+		must(prob.AddConstraint(map[int]float64{r[j]: 1, s[j]: -bigM}, lp.LE, 0))
+		must(prob.AddConstraint(map[int]float64{z[j]: 1, s[j]: bigM}, lp.LE, pt.Value+bigM))
+		must(prob.AddConstraint(map[int]float64{z[j]: 1}, lp.LE, bigM))
+		if j > 0 {
+			prev := pts[j-1]
+			must(prob.AddConstraint(map[int]float64{z[j]: 1, z[j-1]: -1}, lp.GE, 0))
+			must(prob.AddConstraint(map[int]float64{z[j-1]: pt.X, z[j]: -prev.X}, lp.GE, 0))
+		}
+	}
+	milp := lp.NewMILP(prob)
+	for j := 0; j < n; j++ {
+		milp.SetInteger(s[j])
+	}
+	sol, err := milp.SolveMILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol.Objective
+}
+
+// TestDPMatchesMILPOracle verifies Algorithm 1 against the MILP oracle on
+// random small instances — two completely independent exact methods for
+// the relaxed problem must agree.
+func TestDPMatchesMILPOracle(t *testing.T) {
+	src := rng.New(67)
+	for trial := 0; trial < 25; trial++ {
+		p := randomProblemB(src, 1+src.Intn(4))
+		_, dpRev, err := MaximizeRevenueDP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		milpRev := solveRelaxedViaMILP(t, p)
+		if math.Abs(dpRev-milpRev) > 1e-5*(1+milpRev) {
+			t.Fatalf("trial %d: DP %v vs MILP oracle %v (points %+v)",
+				trial, dpRev, milpRev, p.Points())
+		}
+	}
+}
+
+// TestMILPOracleOnFigure5 pins the oracle itself against the hand-computed
+// relaxed optimum of the worked example.
+func TestMILPOracleOnFigure5(t *testing.T) {
+	p, err := NewProblem([]BuyerPoint{
+		{X: 1, Value: 100, Mass: 0.25},
+		{X: 2, Value: 150, Mass: 0.25},
+		{X: 3, Value: 280, Mass: 0.25},
+		{X: 4, Value: 350, Mass: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := solveRelaxedViaMILP(t, p); math.Abs(got-193.75) > 1e-6 {
+		t.Fatalf("MILP oracle %v, want 193.75", got)
+	}
+}

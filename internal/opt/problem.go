@@ -1,0 +1,156 @@
+// Package opt implements Section 5 of the paper: assigning arbitrage-free
+// prices to the offered model versions so as to maximize the seller's
+// revenue (or interpolate desired price points).
+//
+// The exact problem (3) — maximize revenue over all monotone, subadditive,
+// non-negative pricing functions — is coNP-hard (Theorem 7). The package
+// provides:
+//
+//   - MaximizeRevenueDP: the paper's O(n²) dynamic program (Algorithm 1) for
+//     the relaxed problem (5), which is within a factor 2 of the exact
+//     optimum (Proposition 3) and arbitrage-free by Lemma 8.
+//   - MaximizeRevenueBruteForce: the exact exponential search (Algorithm 2),
+//     enumerating seller subsets and pricing with the min-cost covering
+//     envelope — the "MILP" baseline in Figures 9/10/13/14.
+//   - InterpolateL2 / InterpolateL1: the relaxed price-interpolation
+//     programs T²_PI and T^∞_PI (Dykstra+PAV, and LP respectively).
+//   - Baselines Lin, MaxC, MedC and OptC from Section 6.2.
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"nimbus/internal/pricing"
+)
+
+// BuyerPoint is one market-research point: at quality X = 1/δ, buyers with
+// total mass Mass value the model version at Value (the demand and value
+// curves of Figure 2(a), already transformed to the quality axis).
+type BuyerPoint struct {
+	X     float64 `json:"x"`     // quality a_j = 1/NCP
+	Value float64 `json:"value"` // buyer valuation v_j
+	Mass  float64 `json:"mass"`  // buyer mass b_j (count or probability)
+}
+
+// Problem is a revenue-maximization instance: buyer points sorted by
+// increasing quality with valuations monotone non-decreasing (the paper's
+// standing assumption — better models are worth at least as much).
+type Problem struct {
+	points []BuyerPoint
+}
+
+// ErrInvalidProblem wraps all NewProblem validation failures.
+var ErrInvalidProblem = errors.New("opt: invalid problem")
+
+// NewProblem validates and sorts the buyer points.
+func NewProblem(points []BuyerPoint) (*Problem, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("opt: no buyer points: %w", ErrInvalidProblem)
+	}
+	pts := append([]BuyerPoint(nil), points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	for i, p := range pts {
+		if p.X <= 0 {
+			return nil, fmt.Errorf("opt: point %d has non-positive quality %v: %w", i, p.X, ErrInvalidProblem)
+		}
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Value) || math.IsInf(p.Value, 0) || math.IsNaN(p.Mass) {
+			return nil, fmt.Errorf("opt: point %d has non-finite fields %+v: %w", i, p, ErrInvalidProblem)
+		}
+		if p.Value < 0 || p.Mass < 0 {
+			return nil, fmt.Errorf("opt: point %d has negative value/mass (%v, %v): %w", i, p.Value, p.Mass, ErrInvalidProblem)
+		}
+		if i > 0 {
+			if p.X == pts[i-1].X {
+				return nil, fmt.Errorf("opt: duplicate quality %v: %w", p.X, ErrInvalidProblem)
+			}
+			if p.Value < pts[i-1].Value {
+				return nil, fmt.Errorf("opt: valuation drops from %v to %v at quality %v (must be monotone; use Monotonize): %w",
+					pts[i-1].Value, p.Value, p.X, ErrInvalidProblem)
+			}
+		}
+	}
+	return &Problem{points: pts}, nil
+}
+
+// Monotonize returns a copy of points whose valuations have been raised to
+// the running maximum, the standard repair for noisy market research that
+// makes the instance satisfy the DP's monotone-valuation assumption.
+func Monotonize(points []BuyerPoint) []BuyerPoint {
+	pts := append([]BuyerPoint(nil), points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	run := 0.0
+	for i := range pts {
+		if pts[i].Value > run {
+			run = pts[i].Value
+		}
+		pts[i].Value = run
+	}
+	return pts
+}
+
+// Points returns the sorted buyer points.
+func (p *Problem) Points() []BuyerPoint {
+	return append([]BuyerPoint(nil), p.points...)
+}
+
+// N returns the number of buyer points.
+func (p *Problem) N() int { return len(p.points) }
+
+// saleTol absorbs floating-point jitter in "price ≤ valuation" tests.
+const saleTol = 1e-9
+
+// Revenue evaluates the T_BV objective Σ b_j·p(a_j)·1[p(a_j) ≤ v_j] for an
+// arbitrary price function.
+func (p *Problem) Revenue(price func(float64) float64) float64 {
+	var rev float64
+	for _, pt := range p.points {
+		if c := price(pt.X); c <= pt.Value+saleTol {
+			rev += pt.Mass * c
+		}
+	}
+	return rev
+}
+
+// Affordability returns the fraction of buyer mass that can afford its
+// desired version, the paper's affordability ratio.
+func (p *Problem) Affordability(price func(float64) float64) float64 {
+	var total, can float64
+	for _, pt := range p.points {
+		total += pt.Mass
+		if price(pt.X) <= pt.Value+saleTol {
+			can += pt.Mass
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return can / total
+}
+
+// RevenueOfPrices evaluates T_BV for explicit knot prices aligned with the
+// problem's sorted points.
+func (p *Problem) RevenueOfPrices(prices []float64) (float64, error) {
+	if len(prices) != len(p.points) {
+		return 0, fmt.Errorf("opt: %d prices for %d points", len(prices), len(p.points))
+	}
+	var rev float64
+	for i, pt := range p.points {
+		if prices[i] <= pt.Value+saleTol {
+			rev += pt.Mass * prices[i]
+		}
+	}
+	return rev, nil
+}
+
+// function builds the arbitrage-free piecewise-linear pricing function
+// through the knot prices.
+func (p *Problem) function(prices []float64) (*pricing.Function, error) {
+	pts := make([]pricing.Point, len(prices))
+	for i, z := range prices {
+		pts[i] = pricing.Point{X: p.points[i].X, Price: z}
+	}
+	return pricing.NewFunction(pts)
+}

@@ -1,0 +1,99 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nimbus/internal/rng"
+)
+
+// Property: DP prices are bounded by the top valuation, non-negative,
+// non-decreasing, and their quality ratios are non-increasing (the chain
+// constraints of problem (5)).
+func TestQuickDPPriceStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		p := randomProblemB(src, 1+src.Intn(12))
+		fn, _, err := MaximizeRevenueDP(p)
+		if err != nil {
+			return false
+		}
+		pts := fn.Points()
+		maxV := p.Points()[p.N()-1].Value
+		prevPrice, prevRatio := 0.0, math.Inf(1)
+		for _, pt := range pts {
+			if pt.Price < 0 || pt.Price > maxV+1e-9 {
+				return false
+			}
+			if pt.Price < prevPrice-1e-9 {
+				return false
+			}
+			ratio := pt.Price / pt.X
+			if ratio > prevRatio+1e-9 {
+				return false
+			}
+			prevPrice, prevRatio = pt.Price, ratio
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Monotonize is idempotent and never lowers a valuation.
+func TestQuickMonotonizeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		n := 1 + src.Intn(10)
+		pts := make([]BuyerPoint, n)
+		x := 0.0
+		for i := range pts {
+			x += 0.1 + src.Float64()
+			pts[i] = BuyerPoint{X: x, Value: 100 * src.Float64(), Mass: src.Float64()}
+		}
+		once := Monotonize(pts)
+		twice := Monotonize(once)
+		for i := range once {
+			if once[i].Value < pts[i].Value-1e-12 {
+				return false // lowered a valuation
+			}
+			if twice[i] != once[i] {
+				return false // not idempotent
+			}
+			if i > 0 && once[i].Value < once[i-1].Value {
+				return false // not monotone
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the brute force never loses to the DP, and both are bounded by
+// the full surplus Σ b·v.
+func TestQuickRevenueOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		p := randomProblemB(src, 1+src.Intn(5))
+		_, dpRev, err := MaximizeRevenueDP(p)
+		if err != nil {
+			return false
+		}
+		_, bfRev, err := MaximizeRevenueBruteForce(p)
+		if err != nil {
+			return false
+		}
+		var surplus float64
+		for _, pt := range p.Points() {
+			surplus += pt.Mass * pt.Value
+		}
+		return dpRev <= bfRev+1e-6*(1+bfRev) && bfRev <= surplus+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

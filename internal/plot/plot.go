@@ -1,0 +1,126 @@
+// Package plot renders series as ASCII charts, so `nimbus-bench -format
+// plot` can show the paper's figures directly in a terminal — error curves
+// against 1/NCP, price curves, and the log-scale runtime comparisons.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Config controls chart geometry and scaling.
+type Config struct {
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 64 x 16).
+	Width, Height int
+	// LogY plots log10(y); all y values must then be positive.
+	LogY bool
+}
+
+// markers cycles through per-series glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render draws the chart.
+func Render(w io.Writer, cfg Config, series ...Series) error {
+	if len(series) == 0 {
+		return errors.New("plot: no series")
+	}
+	width := cfg.Width
+	if width <= 0 {
+		width = 64
+	}
+	height := cfg.Height
+	if height <= 0 {
+		height = 16
+	}
+	if width < 8 || height < 4 {
+		return fmt.Errorf("plot: chart area %dx%d too small", width, height)
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Xs) == 0 || len(s.Xs) != len(s.Ys) {
+			return fmt.Errorf("plot: series %q has %d xs and %d ys", s.Name, len(s.Xs), len(s.Ys))
+		}
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				return fmt.Errorf("plot: series %q has non-finite point (%v, %v)", s.Name, x, y)
+			}
+			if cfg.LogY && y <= 0 {
+				return fmt.Errorf("plot: series %q has y=%v with LogY", s.Name, y)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			yv := y
+			if cfg.LogY {
+				yv = math.Log10(y)
+			}
+			ymin, ymax = math.Min(ymin, yv), math.Max(ymax, yv)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.Xs {
+			y := s.Ys[i]
+			if cfg.LogY {
+				y = math.Log10(y)
+			}
+			col := int(math.Round((s.Xs[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+			grid[row][col] = m
+		}
+	}
+
+	if cfg.Title != "" {
+		fmt.Fprintln(w, cfg.Title)
+	}
+	yTop, yBot := ymax, ymin
+	unit := ""
+	if cfg.LogY {
+		yTop, yBot = math.Pow(10, ymax), math.Pow(10, ymin)
+		unit = " (log scale)"
+	}
+	fmt.Fprintf(w, "%s%s\n", cfg.YLabel, unit)
+	for r, line := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.3g", yTop)
+		case height - 1:
+			label = fmt.Sprintf("%10.3g", yBot)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s %-*.4g%*.4g  %s\n", strings.Repeat(" ", 10), width/2, xmin, width-width/2, xmax, cfg.XLabel)
+	for si, s := range series {
+		fmt.Fprintf(w, "   %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Config{}); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if err := Render(&buf, Config{}, Series{Name: "a", Xs: []float64{1}, Ys: nil}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if err := Render(&buf, Config{}, Series{Name: "a", Xs: []float64{math.NaN()}, Ys: []float64{1}}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if err := Render(&buf, Config{LogY: true}, Series{Name: "a", Xs: []float64{1}, Ys: []float64{0}}); err == nil {
+		t.Fatal("zero y with LogY accepted")
+	}
+	if err := Render(&buf, Config{Width: 2, Height: 2}, Series{Name: "a", Xs: []float64{1}, Ys: []float64{1}}); err == nil {
+		t.Fatal("tiny chart accepted")
+	}
+}
+
+func TestRenderBasicChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Title: "test chart", XLabel: "x", YLabel: "y", Width: 20, Height: 5},
+		Series{Name: "up", Xs: []float64{0, 1, 2}, Ys: []float64{0, 1, 2}},
+		Series{Name: "down", Xs: []float64{0, 1, 2}, Ys: []float64{2, 1, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test chart", "up", "down", "*", "o", "x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// The first data row holds the max marker; increasing series ends top
+	// right, decreasing series starts top left.
+	var firstRow string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			firstRow = l
+			break
+		}
+	}
+	body := firstRow[strings.Index(firstRow, "|")+1:]
+	if !strings.HasSuffix(strings.TrimRight(body, " "), "*") {
+		t.Fatalf("increasing series should top out at the right: %q", body)
+	}
+	if !strings.HasPrefix(strings.TrimLeft(body, " "), "o") && !strings.Contains(body, "o") {
+		t.Fatalf("decreasing series should top out at the left: %q", body)
+	}
+}
+
+func TestRenderAxisLabels(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Width: 24, Height: 6},
+		Series{Name: "s", Xs: []float64{1, 100}, Ys: []float64{5, 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"50", "5", "1", "100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing axis label %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{LogY: true, Width: 24, Height: 8},
+		Series{Name: "exp", Xs: []float64{1, 2, 3}, Ys: []float64{1e-6, 1e-3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "log scale") {
+		t.Fatalf("missing log annotation:\n%s", out)
+	}
+	// On a log axis the three decade-spaced points sit on a straight line:
+	// the middle point lands mid-chart, not crushed to the bottom.
+	lines := strings.Split(out, "\n")
+	var rows []int
+	for i, l := range lines {
+		if strings.Contains(l, "*") && strings.Contains(l, "|") {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 marker rows, got %d:\n%s", len(rows), out)
+	}
+	if d1, d2 := rows[1]-rows[0], rows[2]-rows[1]; absInt(d1-d2) > 1 {
+		t.Fatalf("log spacing uneven: %v", rows)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	// Degenerate ranges (single point, constant y) must not divide by zero.
+	err := Render(&buf, Config{Width: 10, Height: 4},
+		Series{Name: "flat", Xs: []float64{5}, Ys: []float64{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("marker missing for single point")
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

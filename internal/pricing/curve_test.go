@@ -1,0 +1,122 @@
+package pricing
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nimbus/internal/rng"
+)
+
+func newSrc() *rng.Source { return rng.New(99) }
+
+func buyerCurve(t *testing.T) *PriceErrorCurve {
+	t.Helper()
+	errs, err := SquaredToOptimalCurve(DefaultGrid(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	price, err := NewFunction([]Point{{X: 1, Price: 10}, {X: 50, Price: 60}, {X: 100, Price: 80}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewPriceErrorCurve("linear-regression", errs, price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewPriceErrorCurveValidation(t *testing.T) {
+	if _, err := NewPriceErrorCurve("m", nil, nil); err == nil {
+		t.Fatal("nil inputs accepted")
+	}
+}
+
+func TestCurvePointsConsistent(t *testing.T) {
+	c := buyerCurve(t)
+	pts := c.Points()
+	if len(pts) != 30 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.Price-c.PriceAt(p.X)) > 1e-12 || math.Abs(p.Error-c.ErrorAt(p.X)) > 1e-12 {
+			t.Fatalf("inconsistent point %+v", p)
+		}
+	}
+	// Prices non-decreasing, errors non-increasing along the menu.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Price < pts[i-1].Price-1e-9 {
+			t.Fatal("menu prices decrease")
+		}
+		if pts[i].Error > pts[i-1].Error+1e-9 {
+			t.Fatal("menu errors increase")
+		}
+	}
+}
+
+func TestPointForErrorBudget(t *testing.T) {
+	c := buyerCurve(t)
+	p, err := c.PointForErrorBudget(0.1) // needs x ≥ 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Error > 0.1+1e-9 {
+		t.Fatalf("returned error %v over budget", p.Error)
+	}
+	// Must be the cheapest satisfying option: a slightly tighter point
+	// should cost at least as much.
+	p2, err := c.PointForErrorBudget(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Price < p.Price {
+		t.Fatalf("tighter budget got cheaper: %v < %v", p2.Price, p.Price)
+	}
+	if _, err := c.PointForErrorBudget(1e-6); !errors.Is(err, ErrUnattainable) {
+		t.Fatalf("want ErrUnattainable, got %v", err)
+	}
+}
+
+func TestPointForPriceBudget(t *testing.T) {
+	c := buyerCurve(t)
+	p, err := c.PointForPriceBudget(35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Price > 35+1e-6 {
+		t.Fatalf("price %v over budget", p.Price)
+	}
+	// Most accurate affordable: spending a bit more must not give a point
+	// with much worse error, and the returned price should nearly exhaust
+	// the budget on the interior of the curve.
+	if p.Price < 35-1 {
+		t.Fatalf("budget not exhausted: %v", p.Price)
+	}
+	rich, err := c.PointForPriceBudget(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rich.X != 100 {
+		t.Fatalf("large budget should buy best version, got x=%v", rich.X)
+	}
+	if _, err := c.PointForPriceBudget(1); !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("want ErrOverBudget, got %v", err)
+	}
+}
+
+func TestPointAtClamps(t *testing.T) {
+	c := buyerCurve(t)
+	if p := c.PointAt(0.0001); p.X != 1 {
+		t.Fatalf("low clamp: %v", p.X)
+	}
+	if p := c.PointAt(1e9); p.X != 100 {
+		t.Fatalf("high clamp: %v", p.X)
+	}
+	// The curve interpolates 1/x linearly between grid knots, so the value
+	// at an off-grid x is close to (and at least) the true 1/42.
+	p := c.PointAt(42)
+	if p.Error < 1.0/42-1e-12 || p.Error > 1.0/42*1.01 {
+		t.Fatalf("PointAt(42).Error = %v", p.Error)
+	}
+}

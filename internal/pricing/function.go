@@ -1,0 +1,208 @@
+// Package pricing is the heart of the Nimbus model-based pricing framework:
+// arbitrage-free pricing functions over the inverse noise control parameter
+// x = 1/δ, the error↔NCP transformation (Figure 2 of the paper), and the
+// price–error curves presented to buyers.
+//
+// Theorem 5/6 of the paper characterizes arbitrage-freeness for the Gaussian
+// mechanism: the price viewed as a function p(x) of x = 1/δ (for the squared
+// error, the inverse noise variance; for a strictly convex ε, the image
+// under the error-inverse φ) must be non-negative, monotone non-decreasing
+// and subadditive. This package represents pricing functions as the
+// piecewise-linear extensions of Proposition 1, which satisfy all three
+// properties whenever the knot prices are non-negative, non-decreasing and
+// have non-increasing price-per-quality ratio z_i/a_i (Lemma 8).
+package pricing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a knot of a pricing function: quality level X = 1/δ and the
+// price charged for it.
+type Point struct {
+	X     float64 `json:"x"`
+	Price float64 `json:"price"`
+}
+
+// Function is a piecewise-linear pricing function p(x) over x = 1/NCP, the
+// construction from Proposition 1: linear from the origin to the first
+// knot, linear between knots, and constant after the last knot.
+type Function struct {
+	pts []Point
+}
+
+// ErrIllFormed is wrapped by NewFunction for structurally invalid knots.
+var ErrIllFormed = errors.New("pricing: ill-formed knots")
+
+// ErrArbitrage is wrapped by Validate when the function admits arbitrage.
+var ErrArbitrage = errors.New("pricing: arbitrage opportunity")
+
+// NewFunction builds a pricing function from knots. Knots are sorted by X;
+// duplicate X values and non-positive X are rejected, as are negative
+// prices. The well-behavedness conditions (monotonicity, subadditivity) are
+// checked separately by Validate so that callers can also represent the
+// paper's deliberately broken baselines.
+func NewFunction(pts []Point) (*Function, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("pricing: no knots: %w", ErrIllFormed)
+	}
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].X < sorted[j].X })
+	for i, p := range sorted {
+		if p.X <= 0 || math.IsNaN(p.X) || math.IsInf(p.X, 0) {
+			return nil, fmt.Errorf("pricing: knot %d has non-positive quality x=%v: %w", i, p.X, ErrIllFormed)
+		}
+		if p.Price < 0 || math.IsNaN(p.Price) {
+			return nil, fmt.Errorf("pricing: knot %d has negative price %v: %w", i, p.Price, ErrIllFormed)
+		}
+		if i > 0 && p.X == sorted[i-1].X {
+			return nil, fmt.Errorf("pricing: duplicate quality x=%v: %w", p.X, ErrIllFormed)
+		}
+	}
+	return &Function{pts: sorted}, nil
+}
+
+// Points returns a copy of the knots in increasing X order.
+func (f *Function) Points() []Point {
+	return append([]Point(nil), f.pts...)
+}
+
+// Price evaluates the piecewise-linear extension at quality x ≥ 0.
+func (f *Function) Price(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	pts := f.pts
+	if x <= pts[0].X {
+		return pts[0].Price / pts[0].X * x
+	}
+	last := pts[len(pts)-1]
+	if x >= last.X {
+		return last.Price
+	}
+	// Binary search for the bracketing segment.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].X >= x })
+	a, b := pts[i-1], pts[i]
+	t := (x - a.X) / (b.X - a.X)
+	return a.Price + t*(b.Price-a.Price)
+}
+
+// PriceAtNCP evaluates the price for noise control parameter δ (= 1/x).
+func (f *Function) PriceAtNCP(delta float64) float64 {
+	if delta <= 0 {
+		// δ → 0 means a perfect model: the supremum price.
+		return f.pts[len(f.pts)-1].Price
+	}
+	return f.Price(1 / delta)
+}
+
+const tol = 1e-9
+
+// Validate checks well-behavedness per Definition 5 via the Theorem 5
+// characterization on the knots: non-negative prices, monotone
+// non-decreasing, and z_i/a_i non-increasing (which implies subadditivity
+// of the piecewise-linear extension, Lemma 8 + Proposition 1).
+func (f *Function) Validate() error {
+	for i := 1; i < len(f.pts); i++ {
+		prev, cur := f.pts[i-1], f.pts[i]
+		if cur.Price < prev.Price-tol {
+			return fmt.Errorf("pricing: price drops from %v@%v to %v@%v (error monotonicity violated): %w",
+				prev.Price, prev.X, cur.Price, cur.X, ErrArbitrage)
+		}
+		if cur.Price/cur.X > prev.Price/prev.X+tol {
+			return fmt.Errorf("pricing: price-per-quality rises from %v@%v to %v@%v (subadditivity violated): %w",
+				prev.Price/prev.X, prev.X, cur.Price/cur.X, cur.X, ErrArbitrage)
+		}
+	}
+	return nil
+}
+
+// IsArbitrageFree reports whether the function is well-behaved.
+func (f *Function) IsArbitrageFree() bool { return f.Validate() == nil }
+
+// MaxPrice returns the supremum of the function (the last knot's price once
+// validated; for unvalidated knots, the max over knots).
+func (f *Function) MaxPrice() float64 {
+	m := 0.0
+	for _, p := range f.pts {
+		if p.Price > m {
+			m = p.Price
+		}
+	}
+	return m
+}
+
+// Constant returns the constant pricing function p(x) = c (used by the
+// MaxC/MedC/OptC baselines). A constant non-negative function is trivially
+// monotone and subadditive.
+func Constant(xs []float64, c float64) (*Function, error) {
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		pts[i] = Point{X: x, Price: c}
+	}
+	return NewFunction(pts)
+}
+
+// Linear returns the pricing function interpolating linearly between
+// (x_min, lo) and (x_max, hi) over the quality grid xs — the paper's Lin
+// baseline.
+func Linear(xs []float64, lo, hi float64) (*Function, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("pricing: Linear needs a quality grid: %w", ErrIllFormed)
+	}
+	xmin, xmax := xs[0], xs[0]
+	for _, x := range xs {
+		xmin = math.Min(xmin, x)
+		xmax = math.Max(xmax, x)
+	}
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		t := 0.0
+		if xmax > xmin {
+			t = (x - xmin) / (xmax - xmin)
+		}
+		pts[i] = Point{X: x, Price: lo + t*(hi-lo)}
+	}
+	return NewFunction(pts)
+}
+
+// CheckSubadditiveOnGrid exhaustively verifies p(x+y) ≤ p(x) + p(y) for all
+// grid pairs x, y in (0, max]; it is the test-suite's independent oracle for
+// the Theorem 5 condition, usable against any price function.
+func CheckSubadditiveOnGrid(price func(float64) float64, max float64, steps int) error {
+	if steps < 2 {
+		return errors.New("pricing: need at least 2 grid steps")
+	}
+	h := max / float64(steps)
+	for i := 1; i <= steps; i++ {
+		x := float64(i) * h
+		for j := i; i+j <= steps; j++ {
+			y := float64(j) * h
+			if price(x+y) > price(x)+price(y)+1e-7*(1+price(x+y)) {
+				return fmt.Errorf("pricing: p(%v)+p(%v)=%v < p(%v)=%v: %w",
+					x, y, price(x)+price(y), x+y, price(x+y), ErrArbitrage)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMonotoneOnGrid verifies p is non-decreasing on a grid over (0, max].
+func CheckMonotoneOnGrid(price func(float64) float64, max float64, steps int) error {
+	if steps < 2 {
+		return errors.New("pricing: need at least 2 grid steps")
+	}
+	h := max / float64(steps)
+	prev := price(h)
+	for i := 2; i <= steps; i++ {
+		cur := price(float64(i) * h)
+		if cur < prev-1e-9*(1+math.Abs(prev)) {
+			return fmt.Errorf("pricing: p decreases at x=%v (%v -> %v): %w", float64(i)*h, prev, cur, ErrArbitrage)
+		}
+		prev = cur
+	}
+	return nil
+}

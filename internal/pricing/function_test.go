@@ -1,0 +1,182 @@
+package pricing
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nimbus/internal/rng"
+)
+
+func mustFunc(t *testing.T, pts []Point) *Function {
+	t.Helper()
+	f, err := NewFunction(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFunctionValidation(t *testing.T) {
+	cases := map[string][]Point{
+		"empty":          {},
+		"zero x":         {{X: 0, Price: 1}},
+		"negative x":     {{X: -1, Price: 1}},
+		"negative price": {{X: 1, Price: -1}},
+		"duplicate x":    {{X: 1, Price: 1}, {X: 1, Price: 2}},
+		"nan x":          {{X: math.NaN(), Price: 1}},
+	}
+	for name, pts := range cases {
+		if _, err := NewFunction(pts); !errors.Is(err, ErrIllFormed) {
+			t.Errorf("%s: want ErrIllFormed, got %v", name, err)
+		}
+	}
+}
+
+func TestNewFunctionSorts(t *testing.T) {
+	f := mustFunc(t, []Point{{X: 3, Price: 30}, {X: 1, Price: 10}, {X: 2, Price: 20}})
+	pts := f.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			t.Fatalf("not sorted: %v", pts)
+		}
+	}
+}
+
+func TestPriceEvaluation(t *testing.T) {
+	f := mustFunc(t, []Point{{X: 2, Price: 10}, {X: 4, Price: 14}})
+	cases := []struct{ x, want float64 }{
+		{0, 0},
+		{-1, 0},
+		{1, 5},   // origin segment: (10/2)·1
+		{2, 10},  // knot
+		{3, 12},  // midpoint of segment
+		{4, 14},  // last knot
+		{10, 14}, // constant beyond last knot
+	}
+	for _, c := range cases {
+		if got := f.Price(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Price(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestPriceAtNCP(t *testing.T) {
+	f := mustFunc(t, []Point{{X: 2, Price: 10}, {X: 4, Price: 14}})
+	if got := f.PriceAtNCP(0.5); got != 10 { // δ=0.5 → x=2
+		t.Fatalf("PriceAtNCP(0.5) = %v", got)
+	}
+	if got := f.PriceAtNCP(0); got != 14 { // perfect model → sup price
+		t.Fatalf("PriceAtNCP(0) = %v", got)
+	}
+}
+
+func TestValidateAcceptsWellBehaved(t *testing.T) {
+	f := mustFunc(t, []Point{{X: 1, Price: 10}, {X: 2, Price: 15}, {X: 4, Price: 20}})
+	if err := f.Validate(); err != nil {
+		t.Fatalf("well-behaved function rejected: %v", err)
+	}
+	if !f.IsArbitrageFree() {
+		t.Fatal("IsArbitrageFree false")
+	}
+}
+
+func TestValidateRejectsNonMonotone(t *testing.T) {
+	f := mustFunc(t, []Point{{X: 1, Price: 10}, {X: 2, Price: 5}})
+	if err := f.Validate(); !errors.Is(err, ErrArbitrage) {
+		t.Fatalf("want ErrArbitrage, got %v", err)
+	}
+}
+
+func TestValidateRejectsSuperadditive(t *testing.T) {
+	// Ratio rises: 10/1 = 10 then 25/2 = 12.5 — doubling quality more than
+	// doubles the price, the paper's canonical arbitrage case.
+	f := mustFunc(t, []Point{{X: 1, Price: 10}, {X: 2, Price: 25}})
+	if err := f.Validate(); !errors.Is(err, ErrArbitrage) {
+		t.Fatalf("want ErrArbitrage, got %v", err)
+	}
+}
+
+// Lemma 8 / Proposition 1 property: any validated function's piecewise
+// linear extension is subadditive and monotone on a fine grid.
+func TestValidatedImpliesSubadditiveExtension(t *testing.T) {
+	src := rng.New(31)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + src.Intn(6)
+		pts := make([]Point, n)
+		x := 0.0
+		price := 0.0
+		ratio := 5 + src.Float64()*10
+		for i := 0; i < n; i++ {
+			x += 0.5 + src.Float64()*2
+			// Keep ratio non-increasing and price non-decreasing:
+			// price_i ∈ [price_{i-1}, ratio_{i-1}·x_i].
+			maxP := ratio * x
+			price = price + src.Float64()*(maxP-price)
+			pts[i] = Point{X: x, Price: price}
+			ratio = price / x
+		}
+		f := mustFunc(t, pts)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("trial %d: constructed function invalid: %v", trial, err)
+		}
+		if err := CheckSubadditiveOnGrid(f.Price, x*2, 60); err != nil {
+			t.Fatalf("trial %d: %v (pts %v)", trial, err, pts)
+		}
+		if err := CheckMonotoneOnGrid(f.Price, x*2, 200); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestCheckersCatchViolations(t *testing.T) {
+	super := func(x float64) float64 { return x * x } // superadditive
+	if err := CheckSubadditiveOnGrid(super, 10, 20); err == nil {
+		t.Fatal("x² accepted as subadditive")
+	}
+	dec := func(x float64) float64 { return 10 - x }
+	if err := CheckMonotoneOnGrid(dec, 5, 20); err == nil {
+		t.Fatal("decreasing function accepted as monotone")
+	}
+	if err := CheckSubadditiveOnGrid(math.Sqrt, 10, 40); err != nil {
+		t.Fatalf("√x rejected: %v", err)
+	}
+	if err := CheckSubadditiveOnGrid(super, 10, 1); err == nil {
+		t.Fatal("must reject tiny grids")
+	}
+	if err := CheckMonotoneOnGrid(dec, 5, 1); err == nil {
+		t.Fatal("must reject tiny grids")
+	}
+}
+
+func TestConstantAndLinearBuilders(t *testing.T) {
+	xs := []float64{1, 2, 5, 10}
+	c, err := Constant(xs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("constant function not well-behaved: %v", err)
+	}
+	for _, x := range xs {
+		if c.Price(x) != 7 {
+			t.Fatalf("Constant price at %v = %v", x, c.Price(x))
+		}
+	}
+	l, err := Linear(xs, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("linear function not well-behaved: %v", err)
+	}
+	if l.Price(1) != 2 || l.Price(10) != 20 {
+		t.Fatalf("linear endpoints: %v, %v", l.Price(1), l.Price(10))
+	}
+	if _, err := Linear(nil, 0, 1); err == nil {
+		t.Fatal("Linear accepted empty grid")
+	}
+	if l.MaxPrice() != 20 {
+		t.Fatalf("MaxPrice = %v", l.MaxPrice())
+	}
+}

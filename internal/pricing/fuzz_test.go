@@ -1,0 +1,59 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFunctionKnots feeds arbitrary knot data into NewFunction: it must
+// either reject the knots or produce a total, finite, panic-free price
+// function; validated functions must additionally be subadditive at the
+// fuzzed probe pair.
+func FuzzFunctionKnots(f *testing.F) {
+	f.Add(1.0, 10.0, 2.0, 15.0, 0.5, 1.5)
+	f.Add(1.0, 10.0, 2.0, 25.0, 1.0, 1.0)
+	f.Add(0.0, -1.0, -2.0, 3.0, 0.1, 0.2)
+	f.Fuzz(func(t *testing.T, x1, p1, x2, p2, a, b float64) {
+		fn, err := NewFunction([]Point{{X: x1, Price: p1}, {X: x2, Price: p2}})
+		if err != nil {
+			return // rejected: fine
+		}
+		for _, probe := range []float64{a, b, a + b, x1, x2, 0, -1} {
+			v := fn.Price(probe)
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("Price(%v) = %v", probe, v)
+			}
+		}
+		if fn.Validate() != nil {
+			return
+		}
+		pa := math.Abs(math.Mod(a, 1e6))
+		pb := math.Abs(math.Mod(b, 1e6))
+		if pa == 0 || pb == 0 {
+			return
+		}
+		if fn.Price(pa+pb) > fn.Price(pa)+fn.Price(pb)+1e-9*(1+fn.Price(pa+pb)) {
+			t.Fatalf("validated function superadditive at (%v, %v)", pa, pb)
+		}
+	})
+}
+
+// FuzzErrorCurveInverse checks the error-inverse against arbitrary curves
+// and targets: no panics, and any returned quality meets the budget.
+func FuzzErrorCurveInverse(f *testing.F) {
+	f.Add(1.0, 0.9, 10.0, 0.1, 0.5)
+	f.Add(1.0, 1.0, 2.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, x1, e1, x2, e2, target float64) {
+		curve, err := ExactCurve("fuzz", []float64{x1, x2}, []float64{e1, e2})
+		if err != nil {
+			return
+		}
+		x, err := curve.XForError(target)
+		if err != nil {
+			return
+		}
+		if got := curve.Err(x); got > target+1e-9 && !math.IsNaN(target) {
+			t.Fatalf("XForError(%v) = %v gives %v", target, x, got)
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package pricing
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialization for pricing functions: the broker persists and audits
+// price curves (market.OfferingSnapshot), and HTTP clients reconstruct
+// local copies for offline what-if analysis.
+
+// functionJSON is the wire form: just the knots.
+type functionJSON struct {
+	Points []Point `json:"points"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (f *Function) MarshalJSON() ([]byte, error) {
+	return json.Marshal(functionJSON{Points: f.Points()})
+}
+
+// UnmarshalJSON implements json.Unmarshaler; the decoded knots go through
+// the same structural validation as NewFunction.
+func (f *Function) UnmarshalJSON(data []byte) error {
+	var wire functionJSON
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return fmt.Errorf("pricing: decoding function: %w", err)
+	}
+	decoded, err := NewFunction(wire.Points)
+	if err != nil {
+		return err
+	}
+	f.pts = decoded.pts
+	return nil
+}

@@ -1,0 +1,42 @@
+package pricing
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFunctionJSONRoundTrip(t *testing.T) {
+	f := mustFunc(t, []Point{{X: 1, Price: 10}, {X: 2, Price: 15}, {X: 4, Price: 20}})
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Function
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1, 1.7, 3, 4, 9} {
+		if back.Price(x) != f.Price(x) {
+			t.Fatalf("price(%v) changed: %v vs %v", x, back.Price(x), f.Price(x))
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFunctionUnmarshalRejectsIllFormed(t *testing.T) {
+	cases := []string{
+		`{nope`,
+		`{"points": []}`,
+		`{"points": [{"x": -1, "price": 5}]}`,
+		`{"points": [{"x": 1, "price": -5}]}`,
+		`{"points": [{"x": 1, "price": 1}, {"x": 1, "price": 2}]}`,
+	}
+	for i, raw := range cases {
+		var f Function
+		if err := json.Unmarshal([]byte(raw), &f); err == nil {
+			t.Errorf("case %d accepted: %s", i, raw)
+		}
+	}
+}

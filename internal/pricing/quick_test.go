@@ -1,0 +1,90 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nimbus/internal/rng"
+)
+
+// quickFunction deterministically derives a well-behaved pricing function
+// from a seed, for property tests.
+func quickFunction(seed int64) *Function {
+	src := rng.New(seed)
+	n := 2 + src.Intn(6)
+	pts := make([]Point, n)
+	x, price := 0.0, 0.0
+	ratio := 5 + src.Float64()*10
+	for i := 0; i < n; i++ {
+		x += 0.5 + src.Float64()*2
+		maxP := ratio * x
+		price = price + src.Float64()*(maxP-price)
+		pts[i] = Point{X: x, Price: price}
+		ratio = price / x
+	}
+	f, err := NewFunction(pts)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Property: a validated function's extension is monotone in quality and
+// anti-monotone in the NCP, everywhere.
+func TestQuickPriceMonotone(t *testing.T) {
+	f := func(seed int64, rawA, rawB float64) bool {
+		fn := quickFunction(seed)
+		if fn.Validate() != nil {
+			return false
+		}
+		a := math.Abs(math.Mod(rawA, 50)) + 0.01
+		b := math.Abs(math.Mod(rawB, 50)) + 0.01
+		if a > b {
+			a, b = b, a
+		}
+		if fn.Price(a) > fn.Price(b)+1e-9 {
+			return false
+		}
+		// PriceAtNCP(δ) = Price(1/δ): smaller δ (better model) costs more.
+		return fn.PriceAtNCP(b) <= fn.PriceAtNCP(a)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: subadditivity of the extension holds for arbitrary pairs, not
+// just grid pairs.
+func TestQuickPriceSubadditive(t *testing.T) {
+	f := func(seed int64, rawX, rawY float64) bool {
+		fn := quickFunction(seed)
+		x := math.Abs(math.Mod(rawX, 40)) + 0.01
+		y := math.Abs(math.Mod(rawY, 40)) + 0.01
+		return fn.Price(x+y) <= fn.Price(x)+fn.Price(y)+1e-9*(1+fn.Price(x+y))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the error curve's inverse really is an inverse on its range.
+func TestQuickErrorInverse(t *testing.T) {
+	curve, err := SquaredToOptimalCurve(DefaultGrid(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw float64) bool {
+		// Targets inside the achievable band.
+		lo, hi := curve.Errs[len(curve.Errs)-1], curve.Errs[0]
+		target := lo + math.Abs(math.Mod(raw, 1))*(hi-lo)
+		x, err := curve.XForError(target)
+		if err != nil {
+			return false
+		}
+		return curve.Err(x) <= target+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+package pricing
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/isotone"
+	"nimbus/internal/ml"
+	"nimbus/internal/noise"
+	"nimbus/internal/rng"
+)
+
+// ErrorCurve is the error transformation of Figure 2: the expected
+// reporting error E[ε(h_δ, D)] as a function of the quality knob x = 1/δ.
+// For strictly convex ε the curve is strictly decreasing (Theorem 4), which
+// makes it invertible — the error-inverse φ of Theorem 6.
+type ErrorCurve struct {
+	// LossName records which ε the curve was computed for.
+	LossName string
+	// Xs is the increasing quality grid (x = 1/NCP).
+	Xs []float64
+	// Errs is the non-increasing expected error at each grid point.
+	Errs []float64
+}
+
+// ErrUnattainable is wrapped by XForError when the requested error budget is
+// below the best error any offered version achieves.
+var ErrUnattainable = errors.New("pricing: error budget unattainable")
+
+// newErrorCurve validates grid shape and enforces monotonicity.
+func newErrorCurve(lossName string, xs, errs []float64) (*ErrorCurve, error) {
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("pricing: error curve needs ≥ 2 grid points, got %d", len(xs))
+	}
+	if len(xs) != len(errs) {
+		return nil, fmt.Errorf("pricing: %d grid points but %d errors", len(xs), len(errs))
+	}
+	if !sort.Float64sAreSorted(xs) {
+		return nil, fmt.Errorf("pricing: quality grid must be increasing")
+	}
+	for i, x := range xs {
+		if x <= 0 {
+			return nil, fmt.Errorf("pricing: quality grid point %d is %v, must be positive", i, x)
+		}
+		if i > 0 && x == xs[i-1] {
+			return nil, fmt.Errorf("pricing: duplicate quality grid point %v", x)
+		}
+	}
+	// Monte-Carlo estimates fluctuate; project onto the non-increasing cone
+	// so the curve is a valid transformation (the true curve is monotone by
+	// Theorem 4).
+	smooth, err := isotone.RegressAntitonic(errs, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &ErrorCurve{LossName: lossName, Xs: append([]float64(nil), xs...), Errs: smooth}, nil
+}
+
+// Err interpolates the expected error at quality x, clamping outside the
+// grid to the boundary values.
+func (c *ErrorCurve) Err(x float64) float64 {
+	if x <= c.Xs[0] {
+		return c.Errs[0]
+	}
+	last := len(c.Xs) - 1
+	if x >= c.Xs[last] {
+		return c.Errs[last]
+	}
+	i := sort.SearchFloat64s(c.Xs, x)
+	if c.Xs[i] == x {
+		return c.Errs[i]
+	}
+	t := (x - c.Xs[i-1]) / (c.Xs[i] - c.Xs[i-1])
+	return c.Errs[i-1] + t*(c.Errs[i]-c.Errs[i-1])
+}
+
+// XForError is the error-inverse φ: the smallest (cheapest) quality x on
+// the curve whose expected error is at most target. Budgets looser than the
+// worst offered error clamp to the lowest quality; budgets tighter than the
+// best achievable error return ErrUnattainable.
+func (c *ErrorCurve) XForError(target float64) (float64, error) {
+	last := len(c.Xs) - 1
+	if target < c.Errs[last]-1e-12 {
+		return 0, fmt.Errorf("pricing: best offered error is %v, budget %v: %w", c.Errs[last], target, ErrUnattainable)
+	}
+	if target >= c.Errs[0] {
+		return c.Xs[0], nil
+	}
+	// Errs is non-increasing; find the first index with Errs[i] ≤ target.
+	i := sort.Search(len(c.Errs), func(i int) bool { return c.Errs[i] <= target })
+	// Interpolate within the bracketing segment for a continuous inverse.
+	e0, e1 := c.Errs[i-1], c.Errs[i]
+	if e0 == e1 {
+		return c.Xs[i], nil
+	}
+	t := (e0 - target) / (e0 - e1)
+	return c.Xs[i-1] + t*(c.Xs[i]-c.Xs[i-1]), nil
+}
+
+// TransformConfig describes a Monte-Carlo error transformation run: for
+// each grid quality x, draw Samples noisy instances at δ = 1/x and average
+// the reporting loss, reproducing the paper's Figure 6 methodology (2000
+// random models per NCP).
+type TransformConfig struct {
+	// Optimal is the trained optimal model instance h*.
+	Optimal []float64
+	// Loss is the reporting error function ε.
+	Loss ml.Loss
+	// Data is the dataset ε is evaluated on (test set by convention).
+	Data *dataset.Dataset
+	// Mechanism injects the noise; nil means the Gaussian mechanism.
+	Mechanism noise.Mechanism
+	// Xs is the quality grid; empty means DefaultGrid(100).
+	Xs []float64
+	// Samples per grid point; 0 means 2000 (the paper's setting).
+	Samples int
+	// Seed drives the Monte-Carlo stream.
+	Seed int64
+}
+
+// DefaultGrid returns the paper's 1/NCP grid: n evenly spaced qualities
+// from 1 to 100.
+func DefaultGrid(n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1 + 99*float64(i)/float64(n-1)
+	}
+	return xs
+}
+
+// MonteCarloTransform estimates the error curve empirically. It works for
+// any reporting loss, including the non-convex zero-one error.
+//
+// Grid points are evaluated concurrently (this is the broker's listing
+// bottleneck); each point derives its own noise stream from the base seed,
+// so results are deterministic and independent of GOMAXPROCS.
+func MonteCarloTransform(cfg TransformConfig) (*ErrorCurve, error) {
+	if cfg.Optimal == nil {
+		return nil, errors.New("pricing: TransformConfig.Optimal is nil")
+	}
+	if cfg.Loss == nil {
+		return nil, errors.New("pricing: TransformConfig.Loss is nil")
+	}
+	if cfg.Data == nil {
+		return nil, errors.New("pricing: TransformConfig.Data is nil")
+	}
+	mech := cfg.Mechanism
+	if mech == nil {
+		mech = noise.Gaussian{}
+	}
+	xs := cfg.Xs
+	if len(xs) == 0 {
+		xs = DefaultGrid(100)
+	}
+	samples := cfg.Samples
+	if samples == 0 {
+		samples = 2000
+	}
+	for _, x := range xs {
+		if x <= 0 {
+			return nil, fmt.Errorf("pricing: quality grid point %v must be positive", x)
+		}
+	}
+	errs := make([]float64, len(xs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				// Per-point derived seed: deterministic under any
+				// parallelism.
+				src := rng.New(cfg.Seed + 1000003*int64(i))
+				delta := 1 / xs[i]
+				var sum float64
+				for s := 0; s < samples; s++ {
+					noisy := mech.Perturb(cfg.Optimal, delta, src)
+					sum += cfg.Loss.Eval(noisy, cfg.Data)
+				}
+				errs[i] = sum / float64(samples)
+			}
+		}()
+	}
+	for i := range xs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return newErrorCurve(cfg.Loss.Name(), xs, errs)
+}
+
+// AnalyticSquaredTransform computes the error curve for the squared loss in
+// closed form. For the calibrated mechanisms with per-coordinate variance
+// δ/d,
+//
+//	E[λ(h* + w, D)] = λ(h*, D) + (δ/d)·tr(XᵀX)/(2n) + Reg·δ,
+//
+// since the cross terms vanish in expectation. This is exact, so the
+// ablation benches compare it against the Monte-Carlo estimate.
+func AnalyticSquaredTransform(optimal []float64, loss ml.SquaredLoss, data *dataset.Dataset, xs []float64) (*ErrorCurve, error) {
+	if len(xs) == 0 {
+		xs = DefaultGrid(100)
+	}
+	base := loss.Eval(optimal, data)
+	trace := data.Features.Gram().Trace()
+	d := float64(data.D())
+	n := float64(data.N())
+	errs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return nil, fmt.Errorf("pricing: quality grid point %v must be positive", x)
+		}
+		delta := 1 / x
+		errs[i] = base + delta/d*trace/(2*n) + loss.Reg*delta
+	}
+	return newErrorCurve(loss.Name(), xs, errs)
+}
+
+// ExactCurve wraps an analytically-known expected-error sequence in an
+// ErrorCurve. Callers with closed-form error laws (the linear-regression
+// squared loss, the Example 1 aggregate mechanisms) use this instead of
+// Monte Carlo; the sequence must be over an increasing positive grid and is
+// projected to monotone like every other curve.
+func ExactCurve(lossName string, xs, errs []float64) (*ErrorCurve, error) {
+	return newErrorCurve(lossName, xs, errs)
+}
+
+// SquaredToOptimalCurve is the exact curve for the paper's ε_s(h, D) =
+// ‖h − h*‖² reporting error, for which E[ε_s] = δ = 1/x (Lemma 3).
+func SquaredToOptimalCurve(xs []float64) (*ErrorCurve, error) {
+	if len(xs) == 0 {
+		xs = DefaultGrid(100)
+	}
+	errs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return nil, fmt.Errorf("pricing: quality grid point %v must be positive", x)
+		}
+		errs[i] = 1 / x
+	}
+	return newErrorCurve("squared-to-optimal", xs, errs)
+}

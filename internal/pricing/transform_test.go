@@ -1,0 +1,211 @@
+package pricing
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/ml"
+	"nimbus/internal/noise"
+)
+
+func regFixture(t *testing.T) (*dataset.Pair, []float64) {
+	t.Helper()
+	d, err := dataset.StandIn("CASP", dataset.GenConfig{Rows: 400, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := dataset.NewPair(d, newSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ml.LinearRegression{Ridge: 1e-3}.Fit(pair.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair, w
+}
+
+func clsFixture(t *testing.T) (*dataset.Pair, []float64) {
+	t.Helper()
+	d := dataset.Simulated2(dataset.GenConfig{Rows: 800, Seed: 14})
+	pair, err := dataset.NewPair(d, newSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ml.LogisticRegression{Ridge: 1e-4}.Fit(pair.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair, w
+}
+
+func TestSquaredToOptimalCurveExact(t *testing.T) {
+	c, err := SquaredToOptimalCurve([]float64{1, 2, 4, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{1, 2, 4, 10} {
+		if got := c.Err(x); math.Abs(got-1/x) > 1e-12 {
+			t.Fatalf("Err(%v) = %v, want %v", x, got, 1/x)
+		}
+	}
+}
+
+func TestErrInterpolationAndClamping(t *testing.T) {
+	c, err := SquaredToOptimalCurve([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Err(0.5) != 1 { // clamp below
+		t.Fatalf("Err(0.5) = %v", c.Err(0.5))
+	}
+	if c.Err(5) != 0.5 { // clamp above
+		t.Fatalf("Err(5) = %v", c.Err(5))
+	}
+	if got := c.Err(1.5); math.Abs(got-0.75) > 1e-12 { // linear midpoint of 1, 0.5
+		t.Fatalf("Err(1.5) = %v", got)
+	}
+}
+
+func TestXForErrorInverse(t *testing.T) {
+	c, err := SquaredToOptimalCurve(DefaultGrid(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []float64{0.9, 0.5, 0.1, 0.02} {
+		x, err := c.XForError(target)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		if got := c.Err(x); got > target+1e-9 {
+			t.Fatalf("XForError(%v) = %v gives error %v > budget", target, x, got)
+		}
+		// Cheapest: slightly lower quality must exceed the budget (when not
+		// clamped to grid minimum).
+		if x > c.Xs[0]+1e-9 && c.Err(x*0.95) <= target-1e-9 {
+			t.Fatalf("XForError(%v) = %v is not minimal", target, x)
+		}
+	}
+	// Loose budgets clamp to the cheapest version.
+	if x, err := c.XForError(100); err != nil || x != c.Xs[0] {
+		t.Fatalf("loose budget: x=%v err=%v", x, err)
+	}
+	// Unattainable budget errors out.
+	if _, err := c.XForError(1e-9); !errors.Is(err, ErrUnattainable) {
+		t.Fatalf("want ErrUnattainable, got %v", err)
+	}
+}
+
+func TestMonteCarloTransformMonotone(t *testing.T) {
+	pair, w := regFixture(t)
+	curve, err := MonteCarloTransform(TransformConfig{
+		Optimal: w,
+		Loss:    ml.SquaredLoss{},
+		Data:    pair.Test,
+		Xs:      DefaultGrid(20),
+		Samples: 200,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve.Errs); i++ {
+		if curve.Errs[i] > curve.Errs[i-1]+1e-12 {
+			t.Fatalf("curve not monotone at %d: %v", i, curve.Errs)
+		}
+	}
+	// Error must strictly drop from lowest to highest quality.
+	if curve.Errs[len(curve.Errs)-1] >= curve.Errs[0] {
+		t.Fatalf("no error improvement across grid: %v ... %v", curve.Errs[0], curve.Errs[len(curve.Errs)-1])
+	}
+}
+
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	pair, w := regFixture(t)
+	loss := ml.SquaredLoss{}
+	xs := []float64{1, 5, 20, 100}
+	mc, err := MonteCarloTransform(TransformConfig{
+		Optimal: w, Loss: loss, Data: pair.Test, Xs: xs, Samples: 3000, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := AnalyticSquaredTransform(w, loss, pair.Test, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		rel := math.Abs(mc.Errs[i]-an.Errs[i]) / an.Errs[i]
+		if rel > 0.06 {
+			t.Fatalf("x=%v: MC %v vs analytic %v (rel %v)", xs[i], mc.Errs[i], an.Errs[i], rel)
+		}
+	}
+}
+
+func TestZeroOneTransformDecreases(t *testing.T) {
+	// Figure 6 bottom row: even the non-convex 0/1 error decreases in 1/NCP.
+	pair, w := clsFixture(t)
+	curve, err := MonteCarloTransform(TransformConfig{
+		Optimal: w,
+		Loss:    ml.ZeroOneLoss{},
+		Data:    pair.Test,
+		Xs:      []float64{1, 10, 100},
+		Samples: 400,
+		Seed:    9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(curve.Errs[2] < curve.Errs[0]) {
+		t.Fatalf("0/1 error not decreasing: %v", curve.Errs)
+	}
+}
+
+func TestLaplaceAndUniformMechanismsTransform(t *testing.T) {
+	pair, w := regFixture(t)
+	for _, mech := range []noise.Mechanism{noise.Laplace{}, noise.Uniform{}} {
+		curve, err := MonteCarloTransform(TransformConfig{
+			Optimal: w, Loss: ml.SquaredLoss{}, Data: pair.Test,
+			Mechanism: mech, Xs: []float64{1, 100}, Samples: 500, Seed: 10,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mech.Name(), err)
+		}
+		if curve.Errs[1] >= curve.Errs[0] {
+			t.Fatalf("%s: not decreasing: %v", mech.Name(), curve.Errs)
+		}
+	}
+}
+
+func TestTransformConfigValidation(t *testing.T) {
+	pair, w := regFixture(t)
+	bad := []TransformConfig{
+		{Loss: ml.SquaredLoss{}, Data: pair.Test},                                   // nil optimal
+		{Optimal: w, Data: pair.Test},                                               // nil loss
+		{Optimal: w, Loss: ml.SquaredLoss{}},                                        // nil data
+		{Optimal: w, Loss: ml.SquaredLoss{}, Data: pair.Test, Xs: []float64{-1, 1}}, // bad grid
+	}
+	for i, cfg := range bad {
+		if _, err := MonteCarloTransform(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := SquaredToOptimalCurve([]float64{0, 1}); err == nil {
+		t.Error("non-positive grid accepted")
+	}
+	if _, err := AnalyticSquaredTransform(w, ml.SquaredLoss{}, pair.Test, []float64{-1, 2}); err == nil {
+		t.Error("analytic transform accepted bad grid")
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	g := DefaultGrid(100)
+	if len(g) != 100 || g[0] != 1 || g[99] != 100 {
+		t.Fatalf("grid endpoints: %v ... %v (len %d)", g[0], g[99], len(g))
+	}
+	if len(DefaultGrid(1)) != 2 {
+		t.Fatal("degenerate grid size not fixed up")
+	}
+}

@@ -1,0 +1,145 @@
+package rng
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// moments returns the sample mean and variance of xs.
+func moments(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs) - 1)
+	return mean, variance
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Normal(0, 1) != b.Normal(0, 1) {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+	c := New(43)
+	same := true
+	a = New(42)
+	for i := 0; i < 10; i++ {
+		if a.Normal(0, 1) != c.Normal(0, 1) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical streams")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	s := New(1)
+	child := s.Split()
+	// Parent stays usable and child differs from parent continuation.
+	p := s.Normal(0, 1)
+	c := child.Normal(0, 1)
+	if p == c {
+		t.Fatal("split stream identical to parent")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(7)
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Normal(2, 3)
+	}
+	mean, variance := moments(xs)
+	if math.Abs(mean-2) > 0.05 {
+		t.Fatalf("mean = %v, want ~2", mean)
+	}
+	if math.Abs(variance-9) > 0.2 {
+		t.Fatalf("variance = %v, want ~9", variance)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	s := New(8)
+	const n = 300000
+	scale := 1.5
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Laplace(0, scale)
+	}
+	mean, variance := moments(xs)
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("mean = %v, want ~0", mean)
+	}
+	want := 2 * scale * scale // Laplace variance = 2b²
+	if math.Abs(variance-want) > 0.15 {
+		t.Fatalf("variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestVectorVariances(t *testing.T) {
+	s := New(9)
+	const d = 50000
+	for name, draw := range map[string]func(int, float64) []float64{
+		"normal":  s.NormalVec,
+		"laplace": s.LaplaceVec,
+		"uniform": s.UniformVec,
+	} {
+		v := draw(d, 0.25)
+		mean, variance := moments(v)
+		if math.Abs(mean) > 0.02 {
+			t.Errorf("%s: mean = %v, want ~0", name, mean)
+		}
+		if math.Abs(variance-0.25) > 0.02 {
+			t.Errorf("%s: variance = %v, want ~0.25", name, variance)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(10)
+	for i := 0; i < 1000; i++ {
+		x := s.Uniform(-2, 5)
+		if x < -2 || x >= 5 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestLockedConcurrent(t *testing.T) {
+	l := NewLocked(12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := l.NormalVec(4, 1)
+				if len(v) != 4 {
+					t.Error("bad vector length")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

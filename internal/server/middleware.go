@@ -1,0 +1,51 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Middleware: the broker daemon fronts real buyers, so every request is
+// access-logged and handler panics become 500s instead of dropped
+// connections.
+
+// statusRecorder captures the response code for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// WithMiddleware wraps a handler with panic recovery and access logging.
+// The broker daemon applies it to the whole API; it is exported so other
+// embedders can reuse it.
+func WithMiddleware(h http.Handler, logf func(format string, args ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				logf("nimbus: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				if rec.status == 0 {
+					writeJSON(rec, http.StatusInternalServerError, ErrorResponse{
+						Error: fmt.Sprintf("internal error: %v", p),
+					})
+				}
+			}
+			logf("nimbus: %s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+		}()
+		h.ServeHTTP(rec, r)
+	})
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareLogsRequests(t *testing.T) {
+	var logs []string
+	logf := func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	srv := httptest.NewServer(WithMiddleware(inner, logf))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/brew")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], "GET /brew -> 418") {
+		t.Fatalf("logs %v", logs)
+	}
+}
+
+func TestMiddlewareRecoversPanics(t *testing.T) {
+	var logs []string
+	logf := func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}
+	inner := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	srv := httptest.NewServer(WithMiddleware(inner, logf))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	joined := strings.Join(logs, "\n")
+	if !strings.Contains(joined, "panic serving GET /boom: kaboom") {
+		t.Fatalf("logs %v", logs)
+	}
+}
+
+func TestMiddlewareDefaultStatusIs200(t *testing.T) {
+	var logs []string
+	logf := func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok")) // implicit 200
+	})
+	srv := httptest.NewServer(WithMiddleware(inner, logf))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(logs) != 1 || !strings.Contains(logs[0], "-> 200") {
+		t.Fatalf("logs %v", logs)
+	}
+}

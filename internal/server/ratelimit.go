@@ -1,0 +1,94 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// A public marketplace endpoint needs per-client rate limiting: model
+// purchases are cheap for the broker but each one hands out a fresh noisy
+// instance, and an unthrottled scraper could hoard instances faster than
+// the pricing assumes. (Averaging them still cannot beat the arbitrage-free
+// prices — see the attack experiment — but the broker shouldn't hand out
+// free compute either.)
+
+// RateLimiter is a per-client token bucket keyed by remote IP.
+type RateLimiter struct {
+	mu sync.Mutex
+	// rate is tokens added per second; burst the bucket capacity.
+	rate, burst float64
+	buckets     map[string]*bucket
+	now         func() time.Time // injectable clock for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter allows `rate` requests per second with bursts up to
+// `burst` per client IP.
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	if rate <= 0 {
+		rate = 10
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow reports whether the client may proceed and debits a token if so.
+func (rl *RateLimiter) allow(client string) bool {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	b, ok := rl.buckets[client]
+	if !ok {
+		// Opportunistic cleanup keeps the map from growing without bound
+		// under address churn.
+		if len(rl.buckets) > 10000 {
+			for k, old := range rl.buckets {
+				if now.Sub(old.last) > time.Minute {
+					delete(rl.buckets, k)
+				}
+			}
+		}
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rl.rate
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Wrap applies the limiter to a handler, answering 429 when a client
+// exceeds its budget.
+func (rl *RateLimiter) Wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		client, _, err := net.SplitHostPort(r.RemoteAddr)
+		if err != nil {
+			client = r.RemoteAddr
+		}
+		if !rl.allow(client) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "rate limit exceeded"})
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRateLimiterAllowsBurstThenBlocks(t *testing.T) {
+	rl := NewRateLimiter(1, 3)
+	clock := time.Unix(1000, 0)
+	rl.now = func() time.Time { return clock }
+	for i := 0; i < 3; i++ {
+		if !rl.allow("1.2.3.4") {
+			t.Fatalf("burst request %d blocked", i)
+		}
+	}
+	if rl.allow("1.2.3.4") {
+		t.Fatal("over-burst request allowed")
+	}
+	// A different client has its own bucket.
+	if !rl.allow("5.6.7.8") {
+		t.Fatal("independent client blocked")
+	}
+	// Tokens refill with time.
+	clock = clock.Add(2 * time.Second)
+	if !rl.allow("1.2.3.4") {
+		t.Fatal("refilled request blocked")
+	}
+}
+
+func TestRateLimiterRefillCap(t *testing.T) {
+	rl := NewRateLimiter(100, 2)
+	clock := time.Unix(0, 0)
+	rl.now = func() time.Time { return clock }
+	if !rl.allow("a") || !rl.allow("a") {
+		t.Fatal("burst blocked")
+	}
+	// A long idle period must not accumulate more than `burst` tokens.
+	clock = clock.Add(time.Hour)
+	if !rl.allow("a") || !rl.allow("a") {
+		t.Fatal("post-idle burst blocked")
+	}
+	if rl.allow("a") {
+		t.Fatal("bucket exceeded burst after idle")
+	}
+}
+
+func TestRateLimiterDefaults(t *testing.T) {
+	rl := NewRateLimiter(-1, 0)
+	if rl.rate != 10 || rl.burst != 1 {
+		t.Fatalf("defaults %v %v", rl.rate, rl.burst)
+	}
+}
+
+func TestRateLimiterWrapHTTP(t *testing.T) {
+	rl := NewRateLimiter(0.001, 1) // effectively one request
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(rl.Wrap(inner))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("missing Retry-After")
+	}
+}
+
+func TestRateLimiterCleanup(t *testing.T) {
+	rl := NewRateLimiter(1, 1)
+	clock := time.Unix(0, 0)
+	rl.now = func() time.Time { return clock }
+	for i := 0; i < 10001; i++ {
+		rl.allow(string(rune(i)))
+	}
+	clock = clock.Add(2 * time.Minute)
+	rl.allow("fresh") // triggers cleanup of stale buckets
+	rl.mu.Lock()
+	n := len(rl.buckets)
+	rl.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("cleanup left %d buckets", n)
+	}
+}

@@ -1,0 +1,235 @@
+// Package server exposes a Nimbus broker over HTTP — the interactive
+// marketplace surface of the SIGMOD demo. Buyers browse the menu, fetch
+// price–error curves and purchase noisy model instances as JSON.
+//
+//	GET  /healthz                         liveness probe
+//	GET  /api/v1/menu                     offerings with supported losses
+//	GET  /api/v1/curve?offering=&loss=    the price–error curve
+//	POST /api/v1/buy                      execute a purchase
+//
+// The buy request body selects one of the paper's three purchase options:
+//
+//	{"offering": "...", "loss": "...", "option": "quality",      "value": 10}
+//	{"offering": "...", "loss": "...", "option": "error-budget", "value": 0.5}
+//	{"offering": "...", "loss": "...", "option": "price-budget", "value": 25}
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+
+	"nimbus/internal/market"
+	"nimbus/internal/pricing"
+)
+
+// Server is an http.Handler serving a broker.
+type Server struct {
+	broker *market.Broker
+	mux    *http.ServeMux
+	logf   func(format string, args ...any)
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithLogger routes request logging; the default is log.Printf.
+func WithLogger(logf func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = logf }
+}
+
+// New wraps the broker in an HTTP API.
+func New(b *market.Broker, opts ...Option) *Server {
+	s := &Server{broker: b, mux: http.NewServeMux(), logf: log.Printf}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/v1/menu", s.handleMenu)
+	s.mux.HandleFunc("GET /api/v1/curve", s.handleCurve)
+	s.mux.HandleFunc("POST /api/v1/buy", s.handleBuy)
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/v1/statement", s.handleStatement)
+	s.mux.HandleFunc("GET /api/v1/offerings", s.handleOfferings)
+	s.registerUI()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// MenuEntry is one offering in the menu response.
+type MenuEntry struct {
+	Name            string   `json:"name"`
+	Model           string   `json:"model"`
+	Losses          []string `json:"losses"`
+	Dataset         string   `json:"dataset"`
+	TrainRows       int      `json:"train_rows"`
+	TestRows        int      `json:"test_rows"`
+	Features        int      `json:"features"`
+	ExpectedRevenue float64  `json:"expected_revenue"`
+}
+
+// MenuResponse is the GET /api/v1/menu payload.
+type MenuResponse struct {
+	Offerings []MenuEntry `json:"offerings"`
+}
+
+// CurveResponse is the GET /api/v1/curve payload.
+type CurveResponse struct {
+	Offering string                    `json:"offering"`
+	Loss     string                    `json:"loss"`
+	Points   []pricing.PriceErrorPoint `json:"points"`
+}
+
+// BuyRequest is the POST /api/v1/buy body.
+type BuyRequest struct {
+	Offering string  `json:"offering"`
+	Loss     string  `json:"loss"`
+	Option   string  `json:"option"` // "quality", "error-budget" or "price-budget"
+	Value    float64 `json:"value"`
+}
+
+// ErrorResponse is the error payload for all endpoints.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMenu(w http.ResponseWriter, _ *http.Request) {
+	names := s.broker.Menu()
+	resp := MenuResponse{Offerings: make([]MenuEntry, 0, len(names))}
+	for _, name := range names {
+		o, err := s.broker.Offering(name)
+		if err != nil {
+			continue // raced with a concurrent relisting; skip
+		}
+		stats := o.Pair.Stats()
+		resp.Offerings = append(resp.Offerings, MenuEntry{
+			Name:            o.Name,
+			Model:           o.Model.Name(),
+			Losses:          o.LossNames(),
+			Dataset:         o.Pair.Name,
+			TrainRows:       stats.N1,
+			TestRows:        stats.N2,
+			Features:        stats.D,
+			ExpectedRevenue: o.ExpectedRevenue,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
+	offering := r.URL.Query().Get("offering")
+	loss := r.URL.Query().Get("loss")
+	if offering == "" || loss == "" {
+		s.fail(w, http.StatusBadRequest, errors.New("offering and loss query parameters are required"))
+		return
+	}
+	o, err := s.broker.Offering(offering)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	c, err := o.Curve(loss)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CurveResponse{Offering: offering, Loss: loss, Points: c.Points()})
+}
+
+func (s *Server) handleBuy(w http.ResponseWriter, r *http.Request) {
+	var req BuyRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding buy request: %w", err))
+		return
+	}
+	var p *market.Purchase
+	var err error
+	switch req.Option {
+	case "quality":
+		p, err = s.broker.BuyAtQuality(req.Offering, req.Loss, req.Value)
+	case "error-budget":
+		p, err = s.broker.BuyWithErrorBudget(req.Offering, req.Loss, req.Value)
+	case "price-budget":
+		p, err = s.broker.BuyWithPriceBudget(req.Offering, req.Loss, req.Value)
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown option %q (want quality, error-budget or price-budget)", req.Option))
+		return
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, market.ErrUnknownOffering):
+			s.fail(w, http.StatusNotFound, err)
+		case errors.Is(err, pricing.ErrUnattainable), errors.Is(err, pricing.ErrOverBudget):
+			s.fail(w, http.StatusUnprocessableEntity, err)
+		default:
+			s.fail(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	s.logf("nimbus: sold %s (%s) at x=%.3f for %.2f", p.Offering, p.Loss, p.X, p.Price)
+	writeJSON(w, http.StatusOK, p)
+}
+
+// StatsResponse is the GET /api/v1/stats payload: the broker's books.
+type StatsResponse struct {
+	Offerings    int     `json:"offerings"`
+	Sales        int     `json:"sales"`
+	TotalRevenue float64 `json:"total_revenue"`
+	// BrokerFees is the commission kept by the broker; Payouts is what
+	// each offering's seller is owed.
+	BrokerFees float64            `json:"broker_fees"`
+	Payouts    map[string]float64 `json:"payouts"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Offerings:    len(s.broker.Menu()),
+		Sales:        len(s.broker.Sales()),
+		TotalRevenue: s.broker.TotalRevenue(),
+		BrokerFees:   s.broker.TotalFees(),
+		Payouts:      s.broker.Payouts(),
+	})
+}
+
+// handleStatement serves the per-offering accounting report.
+func (s *Server) handleStatement(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.broker.Statement())
+}
+
+// handleOfferings serves the audit snapshots of every listing.
+func (s *Server) handleOfferings(w http.ResponseWriter, _ *http.Request) {
+	snaps := make([]market.OfferingSnapshot, 0)
+	for _, name := range s.broker.Menu() {
+		o, err := s.broker.Offering(name)
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, o.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, snaps)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to do but note it server-side.
+		log.Printf("nimbus: encoding response: %v", err)
+	}
+}

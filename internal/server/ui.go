@@ -1,0 +1,220 @@
+package server
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+
+	"nimbus/internal/market"
+	"nimbus/internal/pricing"
+)
+
+// The demo surface: Nimbus was shown at SIGMOD as an interactive system
+// where the audience browses price–error curves and buys model instances.
+// This file serves that demonstration as a server-rendered HTML dashboard
+// (no JavaScript, stdlib html/template): the menu at /ui, one page per
+// offering with its curves, and a purchase form.
+
+const uiBase = `<!DOCTYPE html>
+<html><head><title>Nimbus — model-based pricing</title><style>
+body { font-family: system-ui, sans-serif; margin: 2rem; max-width: 64rem; }
+table { border-collapse: collapse; margin: 1rem 0; }
+td, th { border: 1px solid #999; padding: 0.3rem 0.7rem; text-align: right; }
+th { background: #eee; }
+td:first-child, th:first-child { text-align: left; }
+h1 a { text-decoration: none; color: inherit; }
+form { margin: 1rem 0; padding: 1rem; border: 1px solid #ccc; }
+.err { color: #a00; }
+.ok { color: #070; }
+code { background: #f4f4f4; padding: 0 0.2rem; }
+</style></head><body>
+<h1><a href="/ui">Nimbus</a> — model-based pricing demo</h1>
+{{block "body" .}}{{end}}
+</body></html>`
+
+var (
+	uiMenuTmpl = template.Must(template.Must(template.New("menu").Parse(uiBase)).Parse(`{{define "body"}}
+<p>The broker trains the optimal model once and sells noisy versions at
+arbitrage-free prices. Pick an offering:</p>
+<table>
+<tr><th>offering</th><th>model</th><th>train rows</th><th>test rows</th><th>d</th><th>losses</th><th>expected revenue</th></tr>
+{{range .Offerings}}
+<tr><td><a href="/ui/offering?name={{.Name}}">{{.Name}}</a></td><td>{{.Model}}</td>
+<td>{{.TrainRows}}</td><td>{{.TestRows}}</td><td>{{.Features}}</td>
+<td>{{range .Losses}}<code>{{.}}</code> {{end}}</td><td>{{printf "%.2f" .ExpectedRevenue}}</td></tr>
+{{end}}
+</table>
+<p>Broker books: {{.Stats.Sales}} sales, revenue {{printf "%.2f" .Stats.TotalRevenue}}.</p>
+{{end}}`))
+
+	uiOfferingTmpl = template.Must(template.Must(template.New("offering").Parse(uiBase)).Parse(`{{define "body"}}
+<h2>{{.Name}}</h2>
+{{if .Message}}<p class="{{.MessageClass}}">{{.Message}}</p>{{end}}
+{{range .Curves}}
+<h3>price–error curve under the <code>{{.Loss}}</code> loss</h3>
+<table>
+<tr><th>quality 1/NCP</th><th>expected error</th><th>price</th></tr>
+{{range .Points}}<tr><td>{{printf "%.2f" .X}}</td><td>{{printf "%.6f" .Error}}</td><td>{{printf "%.2f" .Price}}</td></tr>{{end}}
+</table>
+{{end}}
+<form method="post" action="/ui/buy">
+<input type="hidden" name="offering" value="{{.Name}}">
+<b>Buy a version</b><br><br>
+loss:
+<select name="loss">{{range .LossNames}}<option>{{.}}</option>{{end}}</select>
+option:
+<select name="option">
+<option value="quality">quality (1/NCP)</option>
+<option value="error-budget">error budget</option>
+<option value="price-budget">price budget</option>
+</select>
+value: <input name="value" size="8" value="10">
+<button type="submit">buy</button>
+</form>
+{{if .Purchase}}
+<h3>purchased</h3>
+<table>
+<tr><th>quality</th><th>NCP δ</th><th>price</th><th>expected error</th><th>weights</th></tr>
+<tr><td>{{printf "%.4f" .Purchase.X}}</td><td>{{printf "%.6f" .Purchase.NCP}}</td>
+<td>{{printf "%.2f" .Purchase.Price}}</td><td>{{printf "%.6f" .Purchase.ExpectedError}}</td>
+<td>{{len .Purchase.Weights}} coefficients</td></tr>
+</table>
+{{end}}
+{{end}}`))
+)
+
+type uiCurve struct {
+	Loss   string
+	Points []pricing.PriceErrorPoint
+}
+
+type uiOfferingPage struct {
+	Name         string
+	LossNames    []string
+	Curves       []uiCurve
+	Message      string
+	MessageClass string
+	Purchase     *market.Purchase
+}
+
+// registerUI adds the dashboard routes; called from New.
+func (s *Server) registerUI() {
+	s.mux.HandleFunc("GET /ui", s.handleUIMenu)
+	s.mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/ui", http.StatusFound)
+	})
+	s.mux.HandleFunc("GET /ui/offering", s.handleUIOffering)
+	s.mux.HandleFunc("POST /ui/buy", s.handleUIBuy)
+}
+
+func (s *Server) handleUIMenu(w http.ResponseWriter, _ *http.Request) {
+	page := struct {
+		Offerings []MenuEntry
+		Stats     StatsResponse
+	}{
+		Stats: StatsResponse{
+			Offerings:    len(s.broker.Menu()),
+			Sales:        len(s.broker.Sales()),
+			TotalRevenue: s.broker.TotalRevenue(),
+		},
+	}
+	for _, name := range s.broker.Menu() {
+		o, err := s.broker.Offering(name)
+		if err != nil {
+			continue
+		}
+		stats := o.Pair.Stats()
+		page.Offerings = append(page.Offerings, MenuEntry{
+			Name: o.Name, Model: o.Model.Name(), Losses: o.LossNames(),
+			Dataset: o.Pair.Name, TrainRows: stats.N1, TestRows: stats.N2,
+			Features: stats.D, ExpectedRevenue: o.ExpectedRevenue,
+		})
+	}
+	s.renderUI(w, uiMenuTmpl, page)
+}
+
+// uiOfferingData assembles the offering page (shared between GET and the
+// post-purchase render).
+func (s *Server) uiOfferingData(name string) (*uiOfferingPage, error) {
+	o, err := s.broker.Offering(name)
+	if err != nil {
+		return nil, err
+	}
+	page := &uiOfferingPage{Name: o.Name, LossNames: o.LossNames()}
+	for _, lossName := range o.LossNames() {
+		c, err := o.Curve(lossName)
+		if err != nil {
+			continue
+		}
+		pts := c.Points()
+		// Keep the table short: at most 12 evenly spaced rows.
+		if len(pts) > 12 {
+			step := float64(len(pts)-1) / 11
+			trimmed := make([]pricing.PriceErrorPoint, 0, 12)
+			for i := 0; i < 12; i++ {
+				trimmed = append(trimmed, pts[int(float64(i)*step+0.5)])
+			}
+			pts = trimmed
+		}
+		page.Curves = append(page.Curves, uiCurve{Loss: lossName, Points: pts})
+	}
+	return page, nil
+}
+
+func (s *Server) handleUIOffering(w http.ResponseWriter, r *http.Request) {
+	page, err := s.uiOfferingData(r.URL.Query().Get("name"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	s.renderUI(w, uiOfferingTmpl, page)
+}
+
+func (s *Server) handleUIBuy(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	offering := r.PostFormValue("offering")
+	page, err := s.uiOfferingData(offering)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	value, err := strconv.ParseFloat(r.PostFormValue("value"), 64)
+	if err != nil {
+		page.Message = fmt.Sprintf("bad value: %v", err)
+		page.MessageClass = "err"
+		s.renderUI(w, uiOfferingTmpl, page)
+		return
+	}
+	loss := r.PostFormValue("loss")
+	var p *market.Purchase
+	switch option := r.PostFormValue("option"); option {
+	case "quality":
+		p, err = s.broker.BuyAtQuality(offering, loss, value)
+	case "error-budget":
+		p, err = s.broker.BuyWithErrorBudget(offering, loss, value)
+	case "price-budget":
+		p, err = s.broker.BuyWithPriceBudget(offering, loss, value)
+	default:
+		err = fmt.Errorf("unknown option %q", option)
+	}
+	if err != nil {
+		page.Message = err.Error()
+		page.MessageClass = "err"
+	} else {
+		page.Message = fmt.Sprintf("sold at %.2f — the noisy instance is below", p.Price)
+		page.MessageClass = "ok"
+		page.Purchase = p
+	}
+	s.renderUI(w, uiOfferingTmpl, page)
+}
+
+func (s *Server) renderUI(w http.ResponseWriter, tmpl *template.Template, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := tmpl.Execute(w, data); err != nil {
+		s.logf("nimbus: rendering UI: %v", err)
+	}
+}
