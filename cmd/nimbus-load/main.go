@@ -1,0 +1,351 @@
+// Command nimbus-load drives a running Nimbus broker with synthetic buyer
+// traffic: N concurrent closed-loop buyers mixing the paper's three purchase
+// options (buy at quality, buy under an error budget, buy under a price
+// budget) across every (offering, loss) curve on the menu. It reports
+// throughput, error counts, and exact latency percentiles, so a deployment
+// can be sized — and the /metrics series sanity-checked — before real buyers
+// arrive.
+//
+// Usage:
+//
+//	nimbus-load -c 32 -duration 10s http://localhost:8080
+//	nimbus-load -n 500 -format json http://localhost:8080
+//
+// Budgets are derived from the live price–error curves (a random curve
+// point's error or price, inflated by up to 50%), so every generated request
+// is satisfiable, and the default -rate paces the aggregate request stream
+// just under nimbusd's default per-client limit (50 req/s): a default run
+// against a default broker finishes with zero non-2xx responses. Pass
+// -rate 0 to uncork the buyers and probe the throttle path instead.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nimbus/internal/server"
+)
+
+func main() {
+	var cfg Config
+	flag.IntVar(&cfg.Concurrency, "c", 8, "concurrent buyers")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "run length (ignored when -n is set)")
+	flag.IntVar(&cfg.Count, "n", 0, "total request count (0 = run for -duration)")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "random seed for the traffic mix")
+	flag.StringVar(&cfg.Format, "format", "text", "report format: text or json")
+	flag.DurationVar(&cfg.Timeout, "timeout", 10*time.Second, "per-request timeout")
+	flag.Float64Var(&cfg.Rate, "rate", 40, "aggregate request rate cap in req/s (0 = closed-loop, as fast as responses return)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nimbus-load [flags] <base-url>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg.BaseURL = flag.Arg(0)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "nimbus-load:", err)
+		os.Exit(1)
+	}
+}
+
+// Config is one load run.
+type Config struct {
+	BaseURL     string
+	Concurrency int
+	Duration    time.Duration
+	Count       int
+	Seed        int64
+	Format      string
+	Timeout     time.Duration
+	// Rate caps the aggregate request rate (req/s); 0 runs fully
+	// closed-loop. The CLI default (40) stays under nimbusd's default
+	// per-client rate limit so a stock run is never throttled.
+	Rate float64
+}
+
+// Report is the run summary. All latencies are in seconds.
+type Report struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`  // transport failures + non-2xx
+	NonOK    int     `json:"non_2xx"` // the non-2xx subset
+	Elapsed  float64 `json:"elapsed_seconds"`
+	QPS      float64 `json:"qps"`
+	Min      float64 `json:"latency_min_seconds"`
+	Mean     float64 `json:"latency_mean_seconds"`
+	P50      float64 `json:"latency_p50_seconds"`
+	P95      float64 `json:"latency_p95_seconds"`
+	P99      float64 `json:"latency_p99_seconds"`
+	Max      float64 `json:"latency_max_seconds"`
+	// ByOption counts completed requests per purchase option.
+	ByOption map[string]int `json:"by_option"`
+	// Revenue sums the prices of successful purchases, for cross-checking
+	// against the broker's nimbus_revenue_total series.
+	Revenue float64 `json:"revenue"`
+}
+
+// target is one (offering, loss) curve a buyer can shop on.
+type target struct {
+	offering string
+	loss     string
+	points   []curvePoint
+}
+
+type curvePoint struct {
+	x, err, price float64
+}
+
+// workerResult is one buyer's tally, merged after the run.
+type workerResult struct {
+	latencies []float64
+	byOption  map[string]int
+	errs      int
+	nonOK     int
+	revenue   float64
+}
+
+var options = [...]string{"quality", "error-budget", "price-budget"}
+
+// run executes the load test and writes the report. It is the testable
+// core: main only parses flags around it.
+func run(ctx context.Context, w io.Writer, cfg Config) error {
+	if cfg.Concurrency <= 0 {
+		return fmt.Errorf("concurrency %d must be positive", cfg.Concurrency)
+	}
+	if cfg.Count <= 0 && cfg.Duration <= 0 {
+		return errors.New("need a positive -n or -duration")
+	}
+	if cfg.Format != "text" && cfg.Format != "json" {
+		return fmt.Errorf("unknown format %q (want text or json)", cfg.Format)
+	}
+	if cfg.Rate < 0 {
+		return fmt.Errorf("rate %v must be non-negative", cfg.Rate)
+	}
+	httpClient := &http.Client{
+		Timeout:   cfg.Timeout,
+		Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Concurrency},
+	}
+	client := &server.Client{BaseURL: cfg.BaseURL, HTTPClient: httpClient}
+
+	targets, err := loadTargets(ctx, client)
+	if err != nil {
+		return err
+	}
+
+	// Count mode claims request slots from a shared counter; duration mode
+	// runs every buyer until the deadline.
+	runCtx := ctx
+	if cfg.Count <= 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+	var issued atomic.Int64
+	claim := func() bool {
+		if runCtx.Err() != nil {
+			return false
+		}
+		if cfg.Count > 0 {
+			return issued.Add(1) <= int64(cfg.Count)
+		}
+		return true
+	}
+
+	// A shared ticker paces all buyers: each tick releases one request, so
+	// the aggregate rate — not the per-worker rate — is what's capped.
+	var tick <-chan time.Time
+	if cfg.Rate > 0 {
+		ticker := time.NewTicker(time.Duration(float64(time.Second) / cfg.Rate))
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
+	results := make([]workerResult, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = buyer(runCtx, client, targets, rand.New(rand.NewSource(cfg.Seed+int64(i))), claim, tick)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := merge(results, elapsed)
+	// A caller-cancelled context (^C) is a clean early stop, not an error.
+	if ctx.Err() != nil && rep.Requests == 0 {
+		return ctx.Err()
+	}
+	return writeReport(w, cfg.Format, rep)
+}
+
+// loadTargets fetches the menu and every per-loss price–error curve.
+func loadTargets(ctx context.Context, client *server.Client) ([]target, error) {
+	menu, err := client.Menu(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("fetching menu: %w", err)
+	}
+	if len(menu.Offerings) == 0 {
+		return nil, errors.New("broker has an empty menu; nothing to buy")
+	}
+	var targets []target
+	for _, o := range menu.Offerings {
+		for _, loss := range o.Losses {
+			curve, err := client.Curve(ctx, o.Name, loss)
+			if err != nil {
+				return nil, fmt.Errorf("fetching curve %s/%s: %w", o.Name, loss, err)
+			}
+			t := target{offering: o.Name, loss: loss}
+			for _, p := range curve.Points {
+				t.points = append(t.points, curvePoint{x: p.X, err: p.Error, price: p.Price})
+			}
+			if len(t.points) > 0 {
+				targets = append(targets, t)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("no offering has a non-empty price–error curve")
+	}
+	return targets, nil
+}
+
+// buyer is one closed-loop worker: claim a slot, pick a curve and option,
+// buy, record, repeat.
+func buyer(ctx context.Context, client *server.Client, targets []target, rnd *rand.Rand, claim func() bool, tick <-chan time.Time) workerResult {
+	res := workerResult{byOption: make(map[string]int)}
+	for claim() {
+		if tick != nil {
+			select {
+			case <-tick:
+			case <-ctx.Done():
+				return res
+			}
+		}
+		t := targets[rnd.Intn(len(targets))]
+		pt := t.points[rnd.Intn(len(t.points))]
+		opt := options[rnd.Intn(len(options))]
+		req := server.BuyRequest{Offering: t.offering, Loss: t.loss, Option: opt}
+		switch opt {
+		case "quality":
+			req.Value = pt.x
+		case "error-budget":
+			// Any listed point's error is attainable; inflating it keeps
+			// the request satisfiable while varying which point is bought.
+			req.Value = pt.err * (1 + 0.5*rnd.Float64())
+		case "price-budget":
+			req.Value = pt.price * (1 + 0.5*rnd.Float64())
+		}
+		reqStart := time.Now()
+		p, err := client.Buy(ctx, req)
+		res.latencies = append(res.latencies, time.Since(reqStart).Seconds())
+		res.byOption[opt]++
+		if err != nil {
+			if ctx.Err() != nil {
+				// The deadline cut this request off mid-flight; drop it
+				// rather than report a spurious failure.
+				res.latencies = res.latencies[:len(res.latencies)-1]
+				res.byOption[opt]--
+				break
+			}
+			res.errs++
+			var apiErr *server.APIError
+			if errors.As(err, &apiErr) {
+				res.nonOK++
+			}
+			continue
+		}
+		res.revenue += p.Price
+	}
+	return res
+}
+
+// merge folds the per-worker tallies into a report with exact percentiles
+// (all latencies are kept and sorted — a load test's sample counts are small
+// enough that estimation would be a needless loss of precision).
+func merge(results []workerResult, elapsed time.Duration) Report {
+	rep := Report{Elapsed: elapsed.Seconds(), ByOption: make(map[string]int)}
+	var all []float64
+	for _, r := range results {
+		all = append(all, r.latencies...)
+		rep.Errors += r.errs
+		rep.NonOK += r.nonOK
+		rep.Revenue += r.revenue
+		for k, v := range r.byOption {
+			rep.ByOption[k] += v
+		}
+	}
+	rep.Requests = len(all)
+	if rep.Requests == 0 {
+		return rep
+	}
+	sort.Float64s(all)
+	var sum float64
+	for _, v := range all {
+		sum += v
+	}
+	rep.QPS = float64(rep.Requests) / rep.Elapsed
+	rep.Min = all[0]
+	rep.Max = all[len(all)-1]
+	rep.Mean = sum / float64(len(all))
+	rep.P50 = percentile(all, 0.50)
+	rep.P95 = percentile(all, 0.95)
+	rep.P99 = percentile(all, 0.99)
+	return rep
+}
+
+// percentile reads the q-th quantile off a sorted sample (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+func writeReport(w io.Writer, format string, rep Report) error {
+	if format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(w, "requests   %d (%.1f/s over %.2fs)\n", rep.Requests, rep.QPS, rep.Elapsed)
+	fmt.Fprintf(w, "errors     %d (%d non-2xx)\n", rep.Errors, rep.NonOK)
+	fmt.Fprintf(w, "revenue    %.2f\n", rep.Revenue)
+	fmt.Fprintf(w, "latency    min %s  mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
+		ms(rep.Min), ms(rep.Mean), ms(rep.P50), ms(rep.P95), ms(rep.P99), ms(rep.Max))
+	opts := make([]string, 0, len(rep.ByOption))
+	for k := range rep.ByOption {
+		opts = append(opts, k)
+	}
+	sort.Strings(opts)
+	for _, k := range opts {
+		fmt.Fprintf(w, "  %-13s %d\n", k, rep.ByOption[k])
+	}
+	return nil
+}
+
+func ms(seconds float64) string {
+	return fmt.Sprintf("%.2fms", seconds*1e3)
+}

@@ -22,6 +22,7 @@ import (
 	"nimbus/internal/ml"
 	"nimbus/internal/pricing"
 	"nimbus/internal/server"
+	"nimbus/internal/telemetry"
 )
 
 func main() {
@@ -132,13 +133,21 @@ func run(addr string, scale float64, seed int64, samples, gridN int, ledger stri
 			return err
 		}
 	}
-	var handler http.Handler = server.New(broker)
+	// One registry covers the whole serving stack: HTTP middleware, rate
+	// limiter, broker sale path, and Go runtime gauges. Scrape it at
+	// GET /metrics (Prometheus) or GET /api/v1/metrics (JSON).
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
+	broker.SetTelemetry(reg)
+	var handler http.Handler = server.New(broker, server.WithTelemetry(reg))
 	if rate > 0 {
-		handler = server.NewRateLimiter(rate, int(2*rate)).Wrap(handler)
+		rl := server.NewRateLimiter(rate, int(2*rate))
+		rl.SetTelemetry(reg)
+		handler = rl.Wrap(handler)
 	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           server.WithMiddleware(handler, log.Printf),
+		Handler:           server.WithMiddleware(handler, log.Printf, reg),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"nimbus/internal/pricing"
 	"nimbus/internal/rng"
+	"nimbus/internal/telemetry"
 )
 
 // Broker mediates between sellers and buyers: it lists offerings, serves
@@ -22,6 +24,64 @@ type Broker struct {
 	src        *rng.Locked
 	sales      []Purchase
 	commission float64
+
+	// tel is the broker's sale-path instrumentation; brokerTelemetry's
+	// handles are nil-safe, so an uninstrumented broker pays only nil
+	// checks on the hot path.
+	tel brokerTelemetry
+}
+
+// brokerTelemetry bundles the broker's metric handles so the hot path
+// never goes through registry lookups.
+type brokerTelemetry struct {
+	reg       *telemetry.Registry
+	revenue   *telemetry.FloatCounter
+	fees      *telemetry.FloatCounter
+	noiseDraw *telemetry.Histogram
+}
+
+// SetTelemetry points the broker's sale metrics at reg: purchase counts
+// per offering, revenue and commission totals, rejected purchases by
+// reason, and the noise-draw latency histogram. Call before serving; the
+// handles are swapped under the broker lock.
+func (b *Broker) SetTelemetry(reg *telemetry.Registry) {
+	reg.Help("nimbus_purchases_total", "Completed sales by offering.")
+	reg.Help("nimbus_revenue_total", "Gross revenue across all sales.")
+	reg.Help("nimbus_broker_fees_total", "Commission kept by the broker.")
+	reg.Help("nimbus_purchase_rejects_total", "Purchases refused, by reason.")
+	reg.Help("nimbus_noise_draw_seconds", "Latency of per-sale noise perturbation.")
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tel = brokerTelemetry{
+		reg:       reg,
+		revenue:   reg.FloatCounter("nimbus_revenue_total"),
+		fees:      reg.FloatCounter("nimbus_broker_fees_total"),
+		noiseDraw: reg.Histogram("nimbus_noise_draw_seconds", nil),
+	}
+	// Existing listings get their per-offering sale counter attached now;
+	// later listings get theirs in List. Caching the handle on the
+	// offering keeps registry lookups off the sale path.
+	for _, o := range b.offerings {
+		o.sales = reg.Counter("nimbus_purchases_total", "offering", o.Name)
+	}
+}
+
+// recordReject classifies a failed purchase for telemetry. It keeps label
+// cardinality bounded by mapping errors onto a fixed reason set.
+func (b *Broker) recordReject(err error) {
+	if b.tel.reg == nil || err == nil {
+		return
+	}
+	reason := "invalid"
+	switch {
+	case errors.Is(err, ErrUnknownOffering):
+		reason = "unknown-offering"
+	case errors.Is(err, pricing.ErrUnattainable):
+		reason = "unattainable"
+	case errors.Is(err, pricing.ErrOverBudget):
+		reason = "over-budget"
+	}
+	b.tel.reg.Counter("nimbus_purchase_rejects_total", "reason", reason).Inc()
 }
 
 // Purchase is a completed sale: the sold instance plus its receipt.
@@ -79,6 +139,9 @@ func (b *Broker) List(cfg OfferingConfig) (*Offering, error) {
 	if _, dup := b.offerings[o.Name]; dup {
 		return nil, fmt.Errorf("market: offering %s already listed", o.Name)
 	}
+	if b.tel.reg != nil {
+		o.sales = b.tel.reg.Counter("nimbus_purchases_total", "offering", o.Name)
+	}
 	b.offerings[o.Name] = o
 	return o, nil
 }
@@ -109,48 +172,43 @@ func (b *Broker) Offering(name string) (*Offering, error) {
 // BuyAtQuality executes the buyer's first option: purchase the version at
 // quality x on the (offering, loss) curve.
 func (b *Broker) BuyAtQuality(offering, loss string, x float64) (*Purchase, error) {
-	o, err := b.Offering(offering)
-	if err != nil {
-		return nil, err
-	}
-	c, err := o.Curve(loss)
-	if err != nil {
-		return nil, err
-	}
-	return b.finalize(o, loss, c.PointAt(x))
+	return b.buy(offering, loss, func(c *pricing.PriceErrorCurve) (pricing.PriceErrorPoint, error) {
+		return c.PointAt(x), nil
+	})
 }
 
 // BuyWithErrorBudget executes the buyer's second option: the cheapest
 // version whose expected error is at most budget.
 func (b *Broker) BuyWithErrorBudget(offering, loss string, budget float64) (*Purchase, error) {
-	o, err := b.Offering(offering)
-	if err != nil {
-		return nil, err
-	}
-	c, err := o.Curve(loss)
-	if err != nil {
-		return nil, err
-	}
-	pt, err := c.PointForErrorBudget(budget)
-	if err != nil {
-		return nil, err
-	}
-	return b.finalize(o, loss, pt)
+	return b.buy(offering, loss, func(c *pricing.PriceErrorCurve) (pricing.PriceErrorPoint, error) {
+		return c.PointForErrorBudget(budget)
+	})
 }
 
 // BuyWithPriceBudget executes the buyer's third option: the most accurate
 // version whose price is within budget.
 func (b *Broker) BuyWithPriceBudget(offering, loss string, budget float64) (*Purchase, error) {
+	return b.buy(offering, loss, func(c *pricing.PriceErrorCurve) (pricing.PriceErrorPoint, error) {
+		return c.PointForPriceBudget(budget)
+	})
+}
+
+// buy resolves the offering and curve, picks the purchase point, and
+// finalizes the sale, recording any refusal for telemetry.
+func (b *Broker) buy(offering, loss string, pick func(*pricing.PriceErrorCurve) (pricing.PriceErrorPoint, error)) (*Purchase, error) {
 	o, err := b.Offering(offering)
 	if err != nil {
+		b.recordReject(err)
 		return nil, err
 	}
 	c, err := o.Curve(loss)
 	if err != nil {
+		b.recordReject(err)
 		return nil, err
 	}
-	pt, err := c.PointForPriceBudget(budget)
+	pt, err := pick(c)
 	if err != nil {
+		b.recordReject(err)
 		return nil, err
 	}
 	return b.finalize(o, loss, pt)
@@ -160,10 +218,14 @@ func (b *Broker) BuyWithPriceBudget(offering, loss string, budget float64) (*Pur
 // the sale and returns the purchase.
 func (b *Broker) finalize(o *Offering, loss string, pt pricing.PriceErrorPoint) (*Purchase, error) {
 	if pt.X <= 0 {
-		return nil, fmt.Errorf("market: purchase at non-positive quality %v", pt.X)
+		err := fmt.Errorf("market: purchase at non-positive quality %v", pt.X)
+		b.recordReject(err)
+		return nil, err
 	}
 	delta := 1 / pt.X
+	drawStart := time.Now()
 	weights := o.Mechanism.Perturb(o.Optimal, delta, b.src.Split())
+	b.tel.noiseDraw.Observe(time.Since(drawStart).Seconds())
 	b.mu.Lock()
 	fee := b.commission * pt.Price
 	p := Purchase{
@@ -179,6 +241,9 @@ func (b *Broker) finalize(o *Offering, loss string, pt pricing.PriceErrorPoint) 
 	}
 	b.sales = append(b.sales, p)
 	b.mu.Unlock()
+	o.sales.Inc()
+	b.tel.revenue.Add(pt.Price)
+	b.tel.fees.Add(fee)
 	return &p, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"nimbus/internal/opt"
 	"nimbus/internal/pricing"
 	"nimbus/internal/rng"
+	"nimbus/internal/telemetry"
 )
 
 // Curve is a market-research curve: a value (monetary worth) or demand
@@ -118,6 +119,9 @@ type Offering struct {
 
 	curves    map[string]*pricing.PriceErrorCurve
 	lossOrder []string
+	// sales is the broker's per-offering purchase counter, attached when
+	// the owning broker is instrumented (nil and inert otherwise).
+	sales *telemetry.Counter
 }
 
 // newOffering runs the full Figure 2 pipeline.

@@ -11,6 +11,7 @@ import (
 	"nimbus/internal/opt"
 	"nimbus/internal/pricing"
 	"nimbus/internal/rng"
+	"nimbus/internal/telemetry"
 	"nimbus/internal/vec"
 )
 
@@ -463,5 +464,82 @@ func TestBuyerPointsFromResearch(t *testing.T) {
 	}
 	if _, err := opt.NewProblem(pts); err != nil {
 		t.Fatalf("research points not a valid problem: %v", err)
+	}
+}
+
+func TestBrokerTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	b := NewBroker(9)
+	b.SetTelemetry(reg)
+	o := listRegression(t, b)
+
+	p, err := b.BuyAtQuality(o.Name, "squared", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.BuyAtQuality("ghost", "squared", 4); err == nil {
+		t.Fatal("unknown offering accepted")
+	}
+	if _, err := b.BuyAtQuality(o.Name, "hinge", 4); err == nil {
+		t.Fatal("unknown loss accepted")
+	}
+	if _, err := b.BuyWithErrorBudget(o.Name, "squared", 0); err == nil {
+		t.Fatal("impossible budget accepted")
+	}
+	if _, err := b.BuyWithPriceBudget(o.Name, "squared", 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("nimbus_purchases_total", "offering", o.Name); got != 1 {
+		t.Fatalf("purchases %v; series %v", got, snap.SeriesNames())
+	}
+	if got := snap.CounterValue("nimbus_revenue_total"); got != p.Price {
+		t.Fatalf("revenue %v want %v", got, p.Price)
+	}
+	if got := snap.CounterValue("nimbus_purchase_rejects_total", "reason", "unknown-offering"); got != 1 {
+		t.Fatalf("unknown-offering rejects %v", got)
+	}
+	if got := snap.CounterValue("nimbus_purchase_rejects_total", "reason", "unattainable"); got != 1 {
+		t.Fatalf("unattainable rejects %v", got)
+	}
+	if got := snap.CounterValue("nimbus_purchase_rejects_total", "reason", "over-budget"); got != 1 {
+		t.Fatalf("over-budget rejects %v", got)
+	}
+	if got := snap.CounterValue("nimbus_purchase_rejects_total", "reason", "invalid"); got != 1 {
+		t.Fatalf("invalid rejects %v", got)
+	}
+	if h, ok := snap.HistogramValue("nimbus_noise_draw_seconds"); !ok || h.Count != 1 {
+		t.Fatalf("noise histogram %+v ok=%v", h, ok)
+	}
+}
+
+// TestBrokerTelemetryConcurrent buys from many goroutines with telemetry
+// on: the counters must add up exactly and the race detector stays quiet.
+func TestBrokerTelemetryConcurrent(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	b := NewBroker(10)
+	b.SetTelemetry(reg)
+	o := listRegression(t, b)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := b.BuyAtQuality(o.Name, "squared", 3); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("nimbus_purchases_total", "offering", o.Name); got != 40 {
+		t.Fatalf("purchases %v", got)
+	}
+	if got := snap.CounterValue("nimbus_revenue_total"); math.Abs(got-b.TotalRevenue()) > 1e-9 {
+		t.Fatalf("revenue %v vs ledger %v", got, b.TotalRevenue())
 	}
 }

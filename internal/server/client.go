@@ -10,6 +10,7 @@ import (
 	"net/url"
 
 	"nimbus/internal/market"
+	"nimbus/internal/telemetry"
 )
 
 // Client is the Go client for the Nimbus broker API.
@@ -134,6 +135,15 @@ func (c *Client) Offerings(ctx context.Context) ([]market.OfferingSnapshot, erro
 		return nil, err
 	}
 	return out, nil
+}
+
+// Metrics fetches the broker's telemetry snapshot.
+func (c *Client) Metrics(ctx context.Context) (*telemetry.Snapshot, error) {
+	var out telemetry.Snapshot
+	if err := c.do(ctx, http.MethodGet, "/api/v1/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Healthy reports whether the broker responds to the liveness probe.

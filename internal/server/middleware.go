@@ -2,15 +2,24 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
+	"sync"
 	"time"
+
+	"nimbus/internal/telemetry"
 )
 
 // Middleware: the broker daemon fronts real buyers, so every request is
-// access-logged and handler panics become 500s instead of dropped
-// connections.
+// access-logged, measured, and handler panics become 500s instead of
+// dropped connections.
 
-// statusRecorder captures the response code for the access log.
+// statusRecorder captures the response code for the access log and the
+// request metrics. It passes interface upgrades through to the underlying
+// ResponseWriter: Flush reaches the real http.Flusher (streaming handlers
+// keep working behind the middleware), ReadFrom delegates to the
+// underlying io.ReaderFrom so sendfile-style copies are not forced through
+// a userspace buffer, and Unwrap supports http.ResponseController.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -28,15 +37,60 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
-// WithMiddleware wraps a handler with panic recovery and access logging.
-// The broker daemon applies it to the whole API; it is exported so other
-// embedders can reuse it.
-func WithMiddleware(h http.Handler, logf func(format string, args ...any)) http.Handler {
+// Flush implements http.Flusher when the underlying writer does; otherwise
+// it is a no-op, matching net/http's own recorder behaviour.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ReadFrom delegates bulk copies to the underlying io.ReaderFrom (net/http
+// response writers implement it for sendfile/splice), falling back to a
+// plain io.Copy. Either way the implicit 200 is recorded first.
+func (r *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	if rf, ok := r.ResponseWriter.(io.ReaderFrom); ok {
+		return rf.ReadFrom(src)
+	}
+	// onlyWriter hides this ReadFrom from io.Copy so it cannot recurse.
+	return io.Copy(onlyWriter{r.ResponseWriter}, src)
+}
+
+type onlyWriter struct{ io.Writer }
+
+// Unwrap exposes the underlying writer to http.ResponseController
+// (SetReadDeadline, EnableFullDuplex, ...).
+func (r *statusRecorder) Unwrap() http.ResponseWriter {
+	return r.ResponseWriter
+}
+
+// WithMiddleware wraps a handler with panic recovery, access logging and —
+// when reg is non-nil — request telemetry: per-route request counts by
+// status class, an in-flight gauge, and per-route latency histograms. The
+// broker daemon applies it to the whole API; it is exported so other
+// embedders can reuse it. Routes are labelled via a fixed table of the
+// served API surface (bounded cardinality), not the raw URL path.
+func WithMiddleware(h http.Handler, logf func(format string, args ...any), reg *telemetry.Registry) http.Handler {
+	reg.Help("nimbus_http_requests_total", "HTTP requests by route pattern and status class.")
+	reg.Help("nimbus_http_request_seconds", "HTTP request latency by route pattern.")
+	reg.Help("nimbus_http_inflight", "HTTP requests currently being served.")
+	reg.Help("nimbus_http_panics_total", "Handler panics recovered by the middleware.")
+	inflight := reg.Gauge("nimbus_http_inflight")
+	panics := reg.Counter("nimbus_http_panics_total")
+	// Metric handles are resolved once per (method, route) and cached, so
+	// the per-request cost is one RLock'd map hit instead of registry key
+	// building; the registry's own lookup path stays out of the hot loop.
+	var routes routeCache
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		inflight.Add(1)
 		rec := &statusRecorder{ResponseWriter: w}
 		defer func() {
 			if p := recover(); p != nil {
+				panics.Inc()
 				logf("nimbus: panic serving %s %s: %v", r.Method, r.URL.Path, p)
 				if rec.status == 0 {
 					writeJSON(rec, http.StatusInternalServerError, ErrorResponse{
@@ -44,8 +98,96 @@ func WithMiddleware(h http.Handler, logf func(format string, args ...any)) http.
 					})
 				}
 			}
-			logf("nimbus: %s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+			elapsed := time.Since(start)
+			inflight.Add(-1)
+			if reg != nil {
+				rs := routes.get(reg, r.Method, r.URL.Path)
+				rs.class(rec.status).Inc()
+				rs.latency.Observe(elapsed.Seconds())
+			}
+			logf("nimbus: %s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond))
 		}()
 		h.ServeHTTP(rec, r)
 	})
+}
+
+// routeStats caches one route's metric handles: a counter per status class
+// and the latency histogram.
+type routeStats struct {
+	classes [6]*telemetry.Counter // index status/100 (1xx..5xx); 0 = other
+	latency *telemetry.Histogram
+}
+
+// class picks the status-class counter.
+func (rs *routeStats) class(status int) *telemetry.Counter {
+	if status < 100 || status > 599 {
+		return rs.classes[0]
+	}
+	return rs.classes[status/100]
+}
+
+// routeCache resolves (method, path) to cached routeStats. Unknown paths
+// and exotic methods collapse into a single "(other)" entry, so the cache
+// and the label space stay bounded under scanner traffic.
+type routeCache struct {
+	mu    sync.RWMutex
+	stats map[[2]string]*routeStats
+}
+
+func (rc *routeCache) get(reg *telemetry.Registry, method, path string) *routeStats {
+	key := [2]string{method, path}
+	if !knownRoutes[path] || !knownMethods[method] {
+		key = [2]string{"", "(other)"}
+	}
+	rc.mu.RLock()
+	rs := rc.stats[key]
+	rc.mu.RUnlock()
+	if rs != nil {
+		return rs
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rs = rc.stats[key]; rs != nil {
+		return rs
+	}
+	label := "(other)"
+	if key[0] != "" {
+		label = key[0] + " " + key[1]
+	}
+	rs = &routeStats{latency: reg.Histogram("nimbus_http_request_seconds", nil, "route", label)}
+	for i, class := range [...]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"} {
+		rs.classes[i] = reg.Counter("nimbus_http_requests_total", "route", label, "class", class)
+	}
+	if rc.stats == nil {
+		rc.stats = make(map[[2]string]*routeStats)
+	}
+	rc.stats[key] = rs
+	return rs
+}
+
+// knownRoutes is the served API surface. Metrics are labelled only with
+// these fixed patterns — scanners probing random paths all collapse into
+// one "(other)" series, keeping label cardinality bounded no matter what
+// the internet throws at a public broker.
+var knownRoutes = map[string]bool{
+	"/":                 true,
+	"/healthz":          true,
+	"/metrics":          true,
+	"/ui":               true,
+	"/ui/offering":      true,
+	"/ui/buy":           true,
+	"/api/v1/menu":      true,
+	"/api/v1/curve":     true,
+	"/api/v1/buy":       true,
+	"/api/v1/stats":     true,
+	"/api/v1/statement": true,
+	"/api/v1/offerings": true,
+	"/api/v1/metrics":   true,
+}
+
+// knownMethods bounds the method axis of the route label the same way.
+var knownMethods = map[string]bool{
+	http.MethodGet: true, http.MethodPost: true, http.MethodHead: true,
+	http.MethodPut: true, http.MethodDelete: true, http.MethodOptions: true,
+	http.MethodPatch: true,
 }

@@ -2,10 +2,13 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"nimbus/internal/telemetry"
 )
 
 func TestMiddlewareLogsRequests(t *testing.T) {
@@ -16,7 +19,7 @@ func TestMiddlewareLogsRequests(t *testing.T) {
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusTeapot)
 	})
-	srv := httptest.NewServer(WithMiddleware(inner, logf))
+	srv := httptest.NewServer(WithMiddleware(inner, logf, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/brew")
@@ -40,7 +43,7 @@ func TestMiddlewareRecoversPanics(t *testing.T) {
 	inner := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("kaboom")
 	})
-	srv := httptest.NewServer(WithMiddleware(inner, logf))
+	srv := httptest.NewServer(WithMiddleware(inner, logf, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/boom")
@@ -57,6 +60,115 @@ func TestMiddlewareRecoversPanics(t *testing.T) {
 	}
 }
 
+// TestStatusRecorderPassesThroughFlusher is the regression test for the
+// middleware swallowing interface upgrades: a streaming handler must still
+// reach the real http.Flusher through the status recorder.
+func TestStatusRecorderPassesThroughFlusher(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("middleware hides http.Flusher")
+			return
+		}
+		w.Write([]byte("chunk"))
+		f.Flush()
+	})
+	rec := httptest.NewRecorder()
+	WithMiddleware(inner, func(string, ...any) {}, nil).
+		ServeHTTP(rec, httptest.NewRequest("GET", "/stream", nil))
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+}
+
+// readFromRecorder counts ReadFrom delegations to prove io.Copy fast paths
+// survive the wrapper.
+type readFromRecorder struct {
+	httptest.ResponseRecorder
+	readFroms int
+}
+
+func (r *readFromRecorder) ReadFrom(src io.Reader) (int64, error) {
+	r.readFroms++
+	return io.Copy(r.ResponseRecorder.Body, src)
+}
+
+// onlyReader hides WriteTo from io.Copy so the copy is forced through the
+// destination's ReadFrom.
+type onlyReader struct{ io.Reader }
+
+func TestStatusRecorderDelegatesReadFrom(t *testing.T) {
+	under := &readFromRecorder{ResponseRecorder: *httptest.NewRecorder()}
+	rec := &statusRecorder{ResponseWriter: under}
+	n, err := io.Copy(rec, onlyReader{strings.NewReader("payload")})
+	if err != nil || n != 7 {
+		t.Fatalf("copy %d %v", n, err)
+	}
+	if under.readFroms != 1 {
+		t.Fatalf("ReadFrom not delegated (calls=%d)", under.readFroms)
+	}
+	if rec.status != http.StatusOK {
+		t.Fatalf("implicit status %d", rec.status)
+	}
+}
+
+// TestStatusRecorderReadFromFallback covers the underlying writer NOT
+// implementing io.ReaderFrom: the copy must still complete (without
+// recursing into the recorder's own ReadFrom).
+func TestStatusRecorderReadFromFallback(t *testing.T) {
+	under := httptest.NewRecorder()
+	rec := &statusRecorder{ResponseWriter: under}
+	n, err := io.Copy(rec, onlyReader{strings.NewReader("fallback")})
+	if err != nil || n != 8 {
+		t.Fatalf("copy %d %v", n, err)
+	}
+	if got := under.Body.String(); got != "fallback" {
+		t.Fatalf("body %q", got)
+	}
+}
+
+func TestStatusRecorderUnwrap(t *testing.T) {
+	under := httptest.NewRecorder()
+	rec := &statusRecorder{ResponseWriter: under}
+	if rec.Unwrap() != http.ResponseWriter(under) {
+		t.Fatal("Unwrap does not expose the underlying writer")
+	}
+}
+
+func TestMiddlewareRecordsTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(WithMiddleware(mux, func(string, ...any) {}, reg))
+	defer srv.Close()
+
+	// Two hits on a known route, one scanner probe on an unknown path.
+	for _, path := range []string{"/healthz", "/healthz", "/wp-admin/setup.php"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("nimbus_http_requests_total", "route", "GET /healthz", "class", "2xx"); got != 2 {
+		t.Fatalf("2xx count %v; series %v", got, snap.SeriesNames())
+	}
+	// Unknown paths collapse into one bounded-cardinality series.
+	if got := snap.CounterValue("nimbus_http_requests_total", "route", "(other)", "class", "4xx"); got != 1 {
+		t.Fatalf("(other) 4xx count %v; series %v", got, snap.SeriesNames())
+	}
+	h, ok := snap.HistogramValue("nimbus_http_request_seconds", "route", "GET /healthz")
+	if !ok || h.Count != 2 || h.Sum <= 0 {
+		t.Fatalf("latency histogram %+v ok=%v", h, ok)
+	}
+	if got := snap.GaugeValue("nimbus_http_inflight"); got != 0 {
+		t.Fatalf("inflight settled at %v", got)
+	}
+}
+
 func TestMiddlewareDefaultStatusIs200(t *testing.T) {
 	var logs []string
 	logf := func(format string, args ...any) {
@@ -65,7 +177,7 @@ func TestMiddlewareDefaultStatusIs200(t *testing.T) {
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok")) // implicit 200
 	})
-	srv := httptest.NewServer(WithMiddleware(inner, logf))
+	srv := httptest.NewServer(WithMiddleware(inner, logf, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/")
 	if err != nil {

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"nimbus/internal/telemetry"
 )
 
 // A public marketplace endpoint needs per-client rate limiting: model
@@ -14,13 +16,29 @@ import (
 // prices — see the attack experiment — but the broker shouldn't hand out
 // free compute either.)
 
+// DefaultBucketTTL is how long an idle client keeps its token bucket; a
+// bucket idle longer than this refills to the full burst anyway, so
+// dropping it changes nothing for the client while keeping the bucket map
+// proportional to the *active* client set rather than every address ever
+// seen — the property that matters at millions-of-users scale.
+const DefaultBucketTTL = time.Minute
+
 // RateLimiter is a per-client token bucket keyed by remote IP.
 type RateLimiter struct {
 	mu sync.Mutex
 	// rate is tokens added per second; burst the bucket capacity.
 	rate, burst float64
 	buckets     map[string]*bucket
-	now         func() time.Time // injectable clock for tests
+	// ttl is the idle eviction horizon; lastSweep gates how often the map
+	// is swept (at most once per sweepEvery) so eviction stays O(1)
+	// amortized on the allow path.
+	ttl        time.Duration
+	sweepEvery time.Duration
+	lastSweep  time.Time
+	now        func() time.Time // injectable clock for tests
+
+	throttled *telemetry.Counter
+	evicted   *telemetry.Counter
 }
 
 type bucket struct {
@@ -29,7 +47,8 @@ type bucket struct {
 }
 
 // NewRateLimiter allows `rate` requests per second with bursts up to
-// `burst` per client IP.
+// `burst` per client IP. Idle buckets are evicted after DefaultBucketTTL
+// (tunable via SetTTL).
 func NewRateLimiter(rate float64, burst int) *RateLimiter {
 	if rate <= 0 {
 		rate = 10
@@ -37,12 +56,44 @@ func NewRateLimiter(rate float64, burst int) *RateLimiter {
 	if burst < 1 {
 		burst = 1
 	}
-	return &RateLimiter{
+	rl := &RateLimiter{
 		rate:    rate,
 		burst:   float64(burst),
 		buckets: make(map[string]*bucket),
 		now:     time.Now,
 	}
+	rl.SetTTL(DefaultBucketTTL)
+	return rl
+}
+
+// SetTTL changes the idle-bucket eviction horizon. Sweeps run lazily on
+// Allow, at most once per ttl/4.
+func (rl *RateLimiter) SetTTL(ttl time.Duration) {
+	if ttl <= 0 {
+		ttl = DefaultBucketTTL
+	}
+	rl.mu.Lock()
+	rl.ttl = ttl
+	rl.sweepEvery = ttl / 4
+	rl.mu.Unlock()
+}
+
+// SetTelemetry points the limiter's throttle/eviction counters at reg.
+func (rl *RateLimiter) SetTelemetry(reg *telemetry.Registry) {
+	reg.Help("nimbus_http_throttled_total", "Requests rejected by the per-client rate limiter.")
+	reg.Help("nimbus_ratelimit_evicted_total", "Idle client buckets evicted by the TTL sweep.")
+	rl.mu.Lock()
+	rl.throttled = reg.Counter("nimbus_http_throttled_total")
+	rl.evicted = reg.Counter("nimbus_ratelimit_evicted_total")
+	rl.mu.Unlock()
+	reg.GaugeFunc("nimbus_ratelimit_buckets", func() float64 { return float64(rl.Len()) })
+}
+
+// Len reports the number of live client buckets.
+func (rl *RateLimiter) Len() int {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return len(rl.buckets)
 }
 
 // allow reports whether the client may proceed and debits a token if so.
@@ -50,17 +101,9 @@ func (rl *RateLimiter) allow(client string) bool {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
 	now := rl.now()
+	rl.sweepLocked(now)
 	b, ok := rl.buckets[client]
 	if !ok {
-		// Opportunistic cleanup keeps the map from growing without bound
-		// under address churn.
-		if len(rl.buckets) > 10000 {
-			for k, old := range rl.buckets {
-				if now.Sub(old.last) > time.Minute {
-					delete(rl.buckets, k)
-				}
-			}
-		}
 		b = &bucket{tokens: rl.burst, last: now}
 		rl.buckets[client] = b
 	}
@@ -70,10 +113,26 @@ func (rl *RateLimiter) allow(client string) bool {
 	}
 	b.last = now
 	if b.tokens < 1 {
+		rl.throttled.Inc() // under mu: SetTelemetry may race otherwise
 		return false
 	}
 	b.tokens--
 	return true
+}
+
+// sweepLocked evicts buckets idle longer than the TTL, at most once per
+// sweepEvery. Callers hold rl.mu.
+func (rl *RateLimiter) sweepLocked(now time.Time) {
+	if now.Sub(rl.lastSweep) < rl.sweepEvery {
+		return
+	}
+	rl.lastSweep = now
+	for k, b := range rl.buckets {
+		if now.Sub(b.last) > rl.ttl {
+			delete(rl.buckets, k)
+			rl.evicted.Inc()
+		}
+	}
 }
 
 // Wrap applies the limiter to a handler, answering 429 when a client

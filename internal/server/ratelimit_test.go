@@ -1,10 +1,13 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"nimbus/internal/telemetry"
 )
 
 func TestRateLimiterAllowsBurstThenBlocks(t *testing.T) {
@@ -92,10 +95,83 @@ func TestRateLimiterCleanup(t *testing.T) {
 	}
 	clock = clock.Add(2 * time.Minute)
 	rl.allow("fresh") // triggers cleanup of stale buckets
-	rl.mu.Lock()
-	n := len(rl.buckets)
-	rl.mu.Unlock()
-	if n > 2 {
+	if n := rl.Len(); n > 2 {
 		t.Fatalf("cleanup left %d buckets", n)
+	}
+}
+
+// TestRateLimiterTTLEviction proves the bucket map shrinks back to the
+// active client set: address churn must not grow memory without bound.
+func TestRateLimiterTTLEviction(t *testing.T) {
+	rl := NewRateLimiter(100, 2)
+	rl.SetTTL(10 * time.Second)
+	clock := time.Unix(0, 0)
+	rl.now = func() time.Time { return clock }
+
+	// 5000 distinct clients churn through, spread over time so no single
+	// sweep sees them all as fresh.
+	for i := 0; i < 5000; i++ {
+		rl.allow(fmt.Sprintf("10.0.%d.%d", i/250, i%250))
+		if i%100 == 0 {
+			clock = clock.Add(time.Second)
+		}
+	}
+	if rl.Len() >= 5000 {
+		t.Fatalf("no eviction during churn: %d buckets", rl.Len())
+	}
+
+	// After everyone goes idle past the TTL, one active client's request
+	// sweeps the rest away.
+	clock = clock.Add(time.Minute)
+	rl.allow("10.9.9.9")
+	if n := rl.Len(); n != 1 {
+		t.Fatalf("idle buckets survived the TTL: %d", n)
+	}
+
+	// The surviving client still has correct token state (not reset by
+	// sweeps it survived).
+	if !rl.allow("10.9.9.9") {
+		t.Fatal("active client throttled after sweep")
+	}
+}
+
+func TestRateLimiterSweepKeepsActiveBuckets(t *testing.T) {
+	rl := NewRateLimiter(1, 5)
+	rl.SetTTL(10 * time.Second)
+	clock := time.Unix(0, 0)
+	rl.now = func() time.Time { return clock }
+	for i := 0; i < 4; i++ {
+		if !rl.allow("busy") {
+			t.Fatalf("request %d throttled within burst", i)
+		}
+		clock = clock.Add(3 * time.Second) // always inside the TTL
+	}
+	if rl.Len() != 1 {
+		t.Fatalf("active bucket evicted (len=%d)", rl.Len())
+	}
+}
+
+func TestRateLimiterTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rl := NewRateLimiter(0.001, 1)
+	rl.SetTelemetry(reg)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(rl.Wrap(inner))
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("nimbus_http_throttled_total"); got != 2 {
+		t.Fatalf("throttled %v", got)
+	}
+	if got := snap.GaugeValue("nimbus_ratelimit_buckets"); got != 1 {
+		t.Fatalf("bucket gauge %v", got)
 	}
 }

@@ -3,9 +3,11 @@
 // price–error curves and purchase noisy model instances as JSON.
 //
 //	GET  /healthz                         liveness probe
+//	GET  /metrics                         Prometheus text-format telemetry
 //	GET  /api/v1/menu                     offerings with supported losses
 //	GET  /api/v1/curve?offering=&loss=    the price–error curve
 //	POST /api/v1/buy                      execute a purchase
+//	GET  /api/v1/metrics                  telemetry snapshot as JSON
 //
 // The buy request body selects one of the paper's three purchase options:
 //
@@ -23,6 +25,7 @@ import (
 
 	"nimbus/internal/market"
 	"nimbus/internal/pricing"
+	"nimbus/internal/telemetry"
 )
 
 // Server is an http.Handler serving a broker.
@@ -30,6 +33,7 @@ type Server struct {
 	broker *market.Broker
 	mux    *http.ServeMux
 	logf   func(format string, args ...any)
+	reg    *telemetry.Registry
 }
 
 // Option customizes a Server.
@@ -40,6 +44,14 @@ func WithLogger(logf func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithTelemetry exposes the registry at GET /metrics (Prometheus text
+// format) and GET /api/v1/metrics (JSON snapshot). The same registry is
+// typically shared with WithMiddleware, the rate limiter and the broker so
+// one scrape covers the whole serving stack.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
 // New wraps the broker in an HTTP API.
 func New(b *market.Broker, opts ...Option) *Server {
 	s := &Server{broker: b, mux: http.NewServeMux(), logf: log.Printf}
@@ -47,6 +59,8 @@ func New(b *market.Broker, opts ...Option) *Server {
 		o(s)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetricsProm)
+	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetricsJSON)
 	s.mux.HandleFunc("GET /api/v1/menu", s.handleMenu)
 	s.mux.HandleFunc("GET /api/v1/curve", s.handleCurve)
 	s.mux.HandleFunc("POST /api/v1/buy", s.handleBuy)
@@ -219,6 +233,21 @@ func (s *Server) handleOfferings(w http.ResponseWriter, _ *http.Request) {
 		snaps = append(snaps, o.Snapshot())
 	}
 	writeJSON(w, http.StatusOK, snaps)
+}
+
+// handleMetricsProm serves the shared registry in Prometheus text format.
+// With no registry configured the body is empty but still scrapeable.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.logf("nimbus: writing metrics: %v", err)
+	}
+}
+
+// handleMetricsJSON serves the registry snapshot as JSON for dashboards
+// and the load generator.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {

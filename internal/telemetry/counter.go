@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// FloatCounter is a monotonically increasing float sum (revenue, seconds).
+// Adds use a compare-and-swap loop on the float's bit pattern; under write
+// contention this retries but never blocks readers.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates delta. Negative deltas are ignored to keep the counter
+// monotone (use a Gauge for values that go down).
+func (c *FloatCounter) Add(delta float64) {
+	if c == nil || delta < 0 || math.IsNaN(delta) {
+		return
+	}
+	addFloat(&c.bits, delta)
+}
+
+// Value returns the accumulated sum.
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is an instantaneous float value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add accumulates delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.bits, delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// gaugeFunc is a callback-valued gauge, evaluated at scrape time.
+type gaugeFunc struct {
+	fn func() float64
+}
+
+// addFloat CAS-adds delta to the float64 stored in bits.
+func addFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

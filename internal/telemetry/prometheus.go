@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every metric in Prometheus text exposition format
+// (version 0.0.4), grouped by base name with HELP/TYPE headers and sorted
+// for stable output. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.collect()
+
+	type series struct {
+		key string
+		m   any
+	}
+	groups := make(map[string][]series)
+	var names []string
+	r.metrics.Range(func(k, v any) bool {
+		key := k.(string)
+		base := baseName(key)
+		if _, seen := groups[base]; !seen {
+			names = append(names, base)
+		}
+		groups[base] = append(groups[base], series{key, v})
+		return true
+	})
+	sort.Strings(names)
+
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, base := range names {
+		ss := groups[base]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].key < ss[j].key })
+		if h := help[base]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, promType(ss[0].m)); err != nil {
+			return err
+		}
+		for _, s := range ss {
+			if err := writeSeries(w, s.key, s.m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promType maps a metric handle to its Prometheus TYPE keyword.
+func promType(m any) string {
+	switch m.(type) {
+	case *Counter, *FloatCounter:
+		return "counter"
+	case *Histogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// writeSeries renders one series (all lines of a histogram, or the single
+// sample line of a scalar metric).
+func writeSeries(w io.Writer, key string, m any) error {
+	switch v := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s %d\n", key, v.Value())
+		return err
+	case *FloatCounter:
+		_, err := fmt.Fprintf(w, "%s %s\n", key, formatFloat(v.Value()))
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", key, formatFloat(v.Value()))
+		return err
+	case *gaugeFunc:
+		_, err := fmt.Fprintf(w, "%s %s\n", key, formatFloat(v.fn()))
+		return err
+	case *Histogram:
+		return writeHistogram(w, key, v)
+	default:
+		return fmt.Errorf("telemetry: unknown metric type %T for %s", m, key)
+	}
+}
+
+// writeHistogram renders the classic cumulative _bucket/_sum/_count lines.
+func writeHistogram(w io.Writer, key string, h *Histogram) error {
+	base, labels := baseName(key), labelBlock(key)
+	counts, total := h.loadCounts()
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		if err := writeBucket(w, base, labels, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	if err := writeBucket(w, base, labels, "+Inf", total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labels, total)
+	return err
+}
+
+// writeBucket renders one cumulative bucket line, splicing le into any
+// existing label block.
+func writeBucket(w io.Writer, base, labels, le string, cum uint64) error {
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", base, le, cum)
+		return err
+	}
+	// labels is "{...}": insert le before the closing brace.
+	_, err := fmt.Fprintf(w, "%s_bucket%s,le=%q} %d\n", base, labels[:len(labels)-1], le, cum)
+	return err
+}
+
+// formatFloat renders a float in the shortest round-trippable form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// ValidatePrometheusText checks that every line of a text exposition is a
+// well-formed comment or sample line, returning the sample count.
+func ValidatePrometheusText(t *testing.T, text string) int {
+	t.Helper()
+	samples, err := ValidateText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Help("requests_total", "Requests served.")
+	reg.Counter("requests_total", "route", "/buy", "class", "2xx").Add(3)
+	reg.Counter("requests_total", "route", "/menu", "class", "2xx").Add(1)
+	reg.FloatCounter("revenue_total").Add(12.5)
+	reg.Gauge("inflight").Set(2)
+	reg.GaugeFunc("temperature", func() float64 { return 20.5 })
+	h := reg.Histogram("latency_seconds", []float64{0.1, 1}, "route", "/buy")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	ValidatePrometheusText(t, text)
+
+	for _, want := range []string{
+		"# HELP requests_total Requests served.",
+		"# TYPE requests_total counter",
+		`requests_total{class="2xx",route="/buy"} 3`,
+		`requests_total{class="2xx",route="/menu"} 1`,
+		"# TYPE revenue_total counter",
+		"revenue_total 12.5",
+		"# TYPE inflight gauge",
+		"inflight 2",
+		"temperature 20.5",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{route="/buy",le="0.1"} 1`,
+		`latency_seconds_bucket{route="/buy",le="1"} 2`,
+		`latency_seconds_bucket{route="/buy",le="+Inf"} 3`,
+		`latency_seconds_sum{route="/buy"} 5.55`,
+		`latency_seconds_count{route="/buy"} 3`,
+	} {
+		if !strings.Contains(text, want+"\n") && !strings.HasSuffix(text, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, text)
+		}
+	}
+}
+
+func TestWritePrometheusStableOrder(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total").Inc()
+	reg.Counter("a_total").Inc()
+	reg.Gauge("c")
+	var first strings.Builder
+	if err := reg.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if ai, bi := strings.Index(first.String(), "a_total"), strings.Index(first.String(), "b_total"); ai > bi {
+		t.Fatalf("output not sorted:\n%s", first.String())
+	}
+	var second strings.Builder
+	if err := reg.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatal("exposition not stable across scrapes")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("odd", "path", "a\"b\\c\nd").Inc()
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := `odd{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(out.String(), want) {
+		t.Fatalf("escaping: got %q want %q", out.String(), want)
+	}
+	ValidatePrometheusText(t, out.String())
+}
+
+func TestSnapshotHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	snap := reg.Snapshot()
+	hs, ok := snap.HistogramValue("lat")
+	if !ok {
+		t.Fatalf("histogram missing: %v", snap.SeriesNames())
+	}
+	if hs.Count != 100 {
+		t.Fatalf("count %d", hs.Count)
+	}
+	if hs.P50 <= 0.001 || hs.P50 > 0.01 {
+		t.Fatalf("p50 %v outside bucket", hs.P50)
+	}
+	if hs.P99 < hs.P50 || hs.P95 < hs.P50 {
+		t.Fatalf("quantiles not ordered: %+v", hs)
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	reg := NewRegistry()
+	reg.Counter("nimbus_purchases_total", "offering", "CASP/linear-regression").Add(2)
+	reg.FloatCounter("nimbus_revenue_total").Add(51.75)
+	var out strings.Builder
+	reg.WritePrometheus(&out)
+	fmt.Print(out.String())
+	// Output:
+	// # TYPE nimbus_purchases_total counter
+	// nimbus_purchases_total{offering="CASP/linear-regression"} 2
+	// # TYPE nimbus_revenue_total counter
+	// nimbus_revenue_total 51.75
+}

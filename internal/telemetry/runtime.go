@@ -1,0 +1,38 @@
+package telemetry
+
+import "runtime"
+
+// RegisterRuntimeMetrics adds Go runtime gauges (goroutines, heap, GC) to
+// the registry. The memory statistics are read once per scrape via an
+// OnScrape hook — runtime.ReadMemStats briefly stops the world, so it must
+// not run per-gauge or per-request.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Help("go_goroutines", "Number of live goroutines.")
+	r.Help("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	r.Help("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.")
+	r.Help("go_gc_cycles_total", "Completed GC cycles.")
+	r.Help("go_gc_pause_last_seconds", "Duration of the most recent GC stop-the-world pause.")
+	r.Help("go_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.")
+
+	r.GaugeFunc("go_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+
+	heapAlloc := r.Gauge("go_heap_alloc_bytes")
+	heapSys := r.Gauge("go_heap_sys_bytes")
+	gcCycles := r.Gauge("go_gc_cycles_total")
+	gcPauseLast := r.Gauge("go_gc_pause_last_seconds")
+	gcPauseTotal := r.Gauge("go_gc_pause_total_seconds")
+	r.OnScrape(func() {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		heapAlloc.Set(float64(m.HeapAlloc))
+		heapSys.Set(float64(m.HeapSys))
+		gcCycles.Set(float64(m.NumGC))
+		if m.NumGC > 0 {
+			gcPauseLast.Set(float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9)
+		}
+		gcPauseTotal.Set(float64(m.PauseTotalNs) / 1e9)
+	})
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import "sort"
+
+// Snapshot is a point-in-time, JSON-friendly view of every metric, for the
+// /api/v1/metrics endpoint, CLIs and tests. Map keys are full series keys
+// including the label block.
+type Snapshot struct {
+	Counters   map[string]float64           `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot summarizes one histogram: totals, estimated quantiles,
+// and the cumulative bucket counts.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	P50     float64       `json:"p50"`
+	P95     float64       `json:"p95"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one cumulative histogram bucket: observations ≤ LE.
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Snapshot runs the scrape hooks and captures every metric. A nil registry
+// returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]float64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.collect()
+	r.metrics.Range(func(k, v any) bool {
+		key := k.(string)
+		switch m := v.(type) {
+		case *Counter:
+			snap.Counters[key] = float64(m.Value())
+		case *FloatCounter:
+			snap.Counters[key] = m.Value()
+		case *Gauge:
+			snap.Gauges[key] = m.Value()
+		case *gaugeFunc:
+			snap.Gauges[key] = m.fn()
+		case *Histogram:
+			snap.Histograms[key] = m.snapshot()
+		}
+		return true
+	})
+	return snap
+}
+
+// snapshot captures one histogram with cumulative buckets and quantiles.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	counts, total := h.loadCounts()
+	buckets := make([]BucketCount, len(h.bounds))
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		buckets[i] = BucketCount{LE: bound, Count: cum}
+	}
+	return HistogramSnapshot{
+		Count:   total,
+		Sum:     h.Sum(),
+		P50:     h.Quantile(0.50),
+		P95:     h.Quantile(0.95),
+		P99:     h.Quantile(0.99),
+		Buckets: buckets,
+	}
+}
+
+// CounterValue is a convenience lookup of a counter (integer or float) by
+// name and labels; it returns 0 for unknown series. Intended for tests.
+func (s Snapshot) CounterValue(name string, labels ...string) float64 {
+	return s.Counters[seriesKey(name, labels)]
+}
+
+// GaugeValue looks up a gauge by name and labels, 0 when unknown.
+func (s Snapshot) GaugeValue(name string, labels ...string) float64 {
+	return s.Gauges[seriesKey(name, labels)]
+}
+
+// HistogramValue looks up a histogram summary by name and labels.
+func (s Snapshot) HistogramValue(name string, labels ...string) (HistogramSnapshot, bool) {
+	h, ok := s.Histograms[seriesKey(name, labels)]
+	return h, ok
+}
+
+// SeriesNames returns every series key in the snapshot, sorted — handy for
+// asserting exposition coverage in tests.
+func (s Snapshot) SeriesNames() []string {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

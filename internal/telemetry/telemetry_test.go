@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("requests_total", "route", "/buy")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter %d", got)
+	}
+	// Same (name, labels) — in any label order — resolves to the same handle.
+	if reg.Counter("requests_total", "route", "/buy") != c {
+		t.Fatal("handle not shared")
+	}
+
+	fc := reg.FloatCounter("revenue_total")
+	fc.Add(1.5)
+	fc.Add(2.25)
+	fc.Add(-7) // ignored: counters are monotone
+	if got := fc.Value(); got != 3.75 {
+		t.Fatalf("float counter %v", got)
+	}
+
+	g := reg.Gauge("inflight")
+	g.Add(2)
+	g.Add(-1)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge %v", got)
+	}
+	g.Set(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("gauge after set %v", got)
+	}
+}
+
+func TestLabelOrderCanonicalized(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("m", "b", "2", "a", "1")
+	b := reg.Counter("m", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+	snap := reg.Snapshot()
+	if _, ok := snap.Counters[`m{a="1",b="2"}`]; !ok {
+		t.Fatalf("canonical key missing: %v", snap.SeriesNames())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dual")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind conflict")
+		}
+	}()
+	reg.Gauge("dual")
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var reg *Registry
+	reg.Counter("a").Inc()
+	reg.FloatCounter("b").Add(1)
+	reg.Gauge("c").Set(1)
+	reg.GaugeFunc("d", func() float64 { return 1 })
+	reg.Histogram("e", nil).Observe(1)
+	reg.Help("a", "help")
+	reg.OnScrape(func() { t.Fatal("scrape hook ran on nil registry") })
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if len(snap.SeriesNames()) != 0 {
+		t.Fatalf("nil registry has series %v", snap.SeriesNames())
+	}
+	// Nil handles are also inert.
+	var (
+		c *Counter
+		f *FloatCounter
+		g *Gauge
+		h *Histogram
+	)
+	c.Inc()
+	f.Add(1)
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || f.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil handles not zero")
+	}
+}
+
+func TestGaugeFuncAndOnScrape(t *testing.T) {
+	reg := NewRegistry()
+	v := 1.0
+	reg.GaugeFunc("dynamic", func() float64 { return v })
+	scrapes := 0
+	refreshed := reg.Gauge("refreshed")
+	reg.OnScrape(func() {
+		scrapes++
+		refreshed.Set(float64(scrapes))
+	})
+
+	snap := reg.Snapshot()
+	if snap.GaugeValue("dynamic") != 1 || snap.GaugeValue("refreshed") != 1 {
+		t.Fatalf("snapshot %v", snap.Gauges)
+	}
+	v = 7
+	snap = reg.Snapshot()
+	if snap.GaugeValue("dynamic") != 7 || snap.GaugeValue("refreshed") != 2 {
+		t.Fatalf("snapshot after update %v", snap.Gauges)
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				reg.Counter("c").Inc()
+				reg.FloatCounter("f").Add(0.5)
+				reg.Gauge("g").Add(1)
+				reg.Histogram("h", nil).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	const n = goroutines * perG
+	if got := reg.Counter("c").Value(); got != n {
+		t.Fatalf("counter %d want %d", got, n)
+	}
+	if got := reg.FloatCounter("f").Value(); got != n/2 {
+		t.Fatalf("float counter %v", got)
+	}
+	if got := reg.Gauge("g").Value(); got != n {
+		t.Fatalf("gauge %v", got)
+	}
+	if got := reg.Histogram("h", nil).Count(); got != n {
+		t.Fatalf("histogram count %d", got)
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	snap := reg.Snapshot()
+	if snap.GaugeValue("go_goroutines") < 1 {
+		t.Fatalf("goroutines %v", snap.GaugeValue("go_goroutines"))
+	}
+	if snap.GaugeValue("go_heap_alloc_bytes") <= 0 {
+		t.Fatalf("heap alloc %v", snap.GaugeValue("go_heap_alloc_bytes"))
+	}
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TYPE go_goroutines gauge", "go_heap_sys_bytes", "go_gc_pause_total_seconds"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// promLine matches one Prometheus text-format sample line: a metric name,
+// an optional label block, and a float value.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
+		`(-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]?Inf|NaN)$`)
+
+// ValidateText checks that every line of a Prometheus text exposition is a
+// well-formed HELP/TYPE comment or sample line, returning the number of
+// sample lines. Scrape consumers are strict line parsers, so tests use
+// this to guarantee the exposition stays machine-readable.
+func ValidateText(text string) (samples int, err error) {
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			return samples, fmt.Errorf("telemetry: invalid exposition line %q", line)
+		}
+		samples++
+	}
+	return samples, nil
+}
