@@ -69,6 +69,7 @@ func runStream(outDir string, scale float64, seed int64, only string) error {
 				return fmt.Errorf("creating %s: %w", path, err)
 			}
 			if err := dataset.StreamCSV(f, name, part.rows, seed+int64(i)); err != nil {
+				//lint:ignore no-dropped-error best-effort cleanup; the stream error above is what gets reported
 				f.Close()
 				return fmt.Errorf("streaming %s: %w", path, err)
 			}
@@ -134,6 +135,7 @@ func writeCSV(path string, ds *dataset.Dataset) error {
 		return fmt.Errorf("creating %s: %w", path, err)
 	}
 	if err := ds.WriteCSV(f); err != nil {
+		//lint:ignore no-dropped-error best-effort cleanup; the write error above is what gets reported
 		f.Close()
 		return fmt.Errorf("writing %s: %w", path, err)
 	}

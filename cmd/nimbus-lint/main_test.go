@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nimbus/internal/analysis"
+)
+
+// goldenNakedRand is the analyzer suite's golden input for no-naked-rand,
+// reused here so the CLI tests exercise real findings with known positions.
+const goldenNakedRand = "../../internal/analysis/testdata/src/nakedrand"
+
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(&out, &errw, args)
+	return code, out.String(), errw.String()
+}
+
+func TestRunReportsFindingsWithPositions(t *testing.T) {
+	code, stdout, stderr := runLint(t, goldenNakedRand)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	// The golden file declares exactly one finding: the math/rand import on
+	// line 7. Paths are relativized to the working directory.
+	want := "internal/analysis/testdata/src/nakedrand/nakedrand.go:7:2: no-naked-rand:"
+	if !strings.Contains(stdout, want) {
+		t.Errorf("stdout missing %q:\n%s", want, stdout)
+	}
+	if got := strings.Count(strings.TrimSpace(stdout), "\n") + 1; got != 1 {
+		t.Errorf("got %d finding lines, want 1:\n%s", got, stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Errorf("stderr missing finding count: %s", stderr)
+	}
+}
+
+func TestRunJSONRoundTrips(t *testing.T) {
+	code, stdout, _ := runLint(t, "-json", goldenNakedRand)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("output is not a diagnostic array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Rule != "no-naked-rand" || d.Line != 7 || !strings.HasSuffix(d.File, "nakedrand.go") {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+	if d.Message == "" {
+		t.Error("diagnostic message is empty")
+	}
+}
+
+func TestRunCleanPackageExitsZero(t *testing.T) {
+	code, stdout, stderr := runLint(t, "../../internal/rng")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed findings:\n%s", stdout)
+	}
+}
+
+func TestRunJSONCleanEmitsEmptyArray(t *testing.T) {
+	code, stdout, _ := runLint(t, "-json", "../../internal/rng")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("clean -json output is not an array: %v\n%s", err, stdout)
+	}
+	if diags == nil || len(diags) != 0 {
+		t.Errorf("want empty non-null array, got %v", diags)
+	}
+}
+
+func TestRunListNamesEveryRule(t *testing.T) {
+	code, stdout, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, r := range analysis.DefaultRules("nimbus") {
+		if !strings.Contains(stdout, r.Name()) {
+			t.Errorf("-list output missing rule %s:\n%s", r.Name(), stdout)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if code, _, _ := runLint(t, "-no-such-flag"); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+	if code, _, stderr := runLint(t, "./no/such/dir"); code != 2 {
+		t.Errorf("bad pattern: exit = %d, want 2 (stderr: %s)", code, stderr)
+	}
+}

@@ -26,7 +26,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nimbus/internal/rng"
 	"nimbus/internal/server"
 )
 
@@ -43,7 +43,7 @@ func main() {
 	flag.IntVar(&cfg.Concurrency, "c", 8, "concurrent buyers")
 	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "run length (ignored when -n is set)")
 	flag.IntVar(&cfg.Count, "n", 0, "total request count (0 = run for -duration)")
-	flag.Int64Var(&cfg.Seed, "seed", 1, "random seed for the traffic mix")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "base seed for the replayable traffic mix (buyer i draws from an rng stream seeded with seed+i)")
 	flag.StringVar(&cfg.Format, "format", "text", "report format: text or json")
 	flag.DurationVar(&cfg.Timeout, "timeout", 10*time.Second, "per-request timeout")
 	flag.Float64Var(&cfg.Rate, "rate", 40, "aggregate request rate cap in req/s (0 = closed-loop, as fast as responses return)")
@@ -180,7 +180,7 @@ func run(ctx context.Context, w io.Writer, cfg Config) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = buyer(runCtx, client, targets, rand.New(rand.NewSource(cfg.Seed+int64(i))), claim, tick)
+			results[i] = buyer(runCtx, client, targets, rng.New(cfg.Seed+int64(i)), claim, tick)
 		}(i)
 	}
 	wg.Wait()
@@ -227,7 +227,7 @@ func loadTargets(ctx context.Context, client *server.Client) ([]target, error) {
 
 // buyer is one closed-loop worker: claim a slot, pick a curve and option,
 // buy, record, repeat.
-func buyer(ctx context.Context, client *server.Client, targets []target, rnd *rand.Rand, claim func() bool, tick <-chan time.Time) workerResult {
+func buyer(ctx context.Context, client *server.Client, targets []target, rnd *rng.Source, claim func() bool, tick <-chan time.Time) workerResult {
 	res := workerResult{byOption: make(map[string]int)}
 	for claim() {
 		if tick != nil {

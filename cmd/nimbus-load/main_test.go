@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -232,4 +233,40 @@ func within(a, b, tol float64) bool {
 		d = -d
 	}
 	return d <= tol
+}
+
+// TestRunReplayableWithSeed pins the migration off math/rand onto
+// internal/rng: two single-buyer runs with the same -seed against
+// identically-listed brokers must issue the identical purchase mix and
+// collect the identical revenue, bit for bit.
+func TestRunReplayableWithSeed(t *testing.T) {
+	do := func() Report {
+		var out bytes.Buffer
+		cfg := Config{
+			BaseURL:     newBrokerServer(t, nil).URL,
+			Concurrency: 1,
+			Count:       60,
+			Seed:        99,
+			Format:      "json",
+			Timeout:     10 * time.Second,
+		}
+		if err := run(context.Background(), &out, cfg); err != nil {
+			t.Fatal(err)
+		}
+		var rep Report
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+		}
+		return rep
+	}
+	a, b := do(), do()
+	if !reflect.DeepEqual(a.ByOption, b.ByOption) {
+		t.Errorf("option mix not replayable: %v vs %v", a.ByOption, b.ByOption)
+	}
+	if a.Revenue != b.Revenue {
+		t.Errorf("revenue not replayable: %v vs %v", a.Revenue, b.Revenue)
+	}
+	if a.Requests != b.Requests {
+		t.Errorf("request counts differ: %d vs %d", a.Requests, b.Requests)
+	}
 }

@@ -52,6 +52,7 @@ func restoreLedger(broker *market.Broker, path string) error {
 	if err != nil {
 		return fmt.Errorf("opening ledger: %w", err)
 	}
+	//lint:ignore no-dropped-error the ledger is only read here; a close failure cannot lose data
 	defer f.Close()
 	if err := broker.RestoreLedger(f); err != nil {
 		return err
@@ -69,6 +70,7 @@ func saveLedger(broker *market.Broker, path string) error {
 		return fmt.Errorf("creating ledger file: %w", err)
 	}
 	if err := broker.SaveLedger(f); err != nil {
+		//lint:ignore no-dropped-error best-effort cleanup; the write error above is what gets reported
 		f.Close()
 		return err
 	}

@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for rule inspection.
+type Package struct {
+	// Path is the package's import path within the module.
+	Path string
+	// Dir is the absolute directory the files came from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects any errors the type checker reported. A package
+	// with type errors is still analyzable — rules skip expressions whose
+	// types are unknown — but callers may want to surface them.
+	TypeErrors []error
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		gomod := filepath.Join(d, "go.mod")
+		if _, statErr := os.Stat(gomod); statErr == nil {
+			p, pErr := readModulePath(gomod)
+			if pErr != nil {
+				return "", "", pErr
+			}
+			return d, p, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	f, err := os.Open(gomod)
+	if err != nil {
+		return "", err
+	}
+	//lint:ignore no-dropped-error go.mod is only read; a close failure cannot lose data
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// Loader parses and type-checks packages inside one module using only the
+// standard library. Imports — both module-internal and standard-library —
+// are type-checked from source with function bodies skipped, so the loader
+// needs no export data, no GOPATH layout and no external tooling. Results
+// are cached per Loader, so loading a whole tree checks each import once.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset      *token.FileSet
+	imports   map[string]*types.Package
+	importing map[string]bool
+}
+
+// NewLoader returns a loader rooted at the given module.
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	return &Loader{
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		fset:       token.NewFileSet(),
+		imports:    make(map[string]*types.Package),
+		importing:  make(map[string]bool),
+	}
+}
+
+// Load resolves go-tool-style patterns — a directory, or a directory
+// followed by /... for the subtree — to package directories inside the
+// module and fully type-checks each one. Directories named "testdata",
+// hidden directories and "_"-prefixed directories are skipped during
+// recursive expansion, matching the go tool. Walked directories whose files
+// are all excluded by build constraints are skipped silently; an explicitly
+// named directory with no buildable files is an error.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	type target struct {
+		dir      string
+		explicit bool
+	}
+	seen := make(map[string]bool)
+	var targets []target
+	add := func(dir string, explicit bool) {
+		if !seen[dir] {
+			seen[dir] = true
+			targets = append(targets, target{dir: dir, explicit: explicit})
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		base := pat
+		if pat == "..." {
+			recursive, base = true, "."
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, base = true, rest
+		}
+		abs, err := filepath.Abs(base)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := l.pkgPathFor(abs); err != nil {
+			return nil, fmt.Errorf("analysis: pattern %q: %w", pat, err)
+		}
+		if !recursive {
+			add(abs, true)
+			continue
+		}
+		err = filepath.WalkDir(abs, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			name := d.Name()
+			if d.IsDir() {
+				if p != abs && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				add(filepath.Dir(p), false)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].dir < targets[j].dir })
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := l.LoadDir(t.dir)
+		if err != nil {
+			if _, noGo := err.(*build.NoGoError); noGo && !t.explicit {
+				continue
+			}
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and fully type-checks the single package in dir, which
+// must live inside the loader's module.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath, err := l.pkgPathFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := build.ImportDir(abs, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	//lint:ignore no-dropped-error the checker's first error is already captured, with all the others, by the Error handler above
+	tpkg, _ := conf.Check(pkgPath, l.fset, files, info)
+	return &Package{
+		Path:       pkgPath,
+		Dir:        abs,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: typeErrs,
+	}, nil
+}
+
+// pkgPathFor maps an absolute directory inside the module to its import
+// path.
+func (l *Loader) pkgPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("directory %s is outside module %s", dir, l.ModuleRoot)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return path.Join(l.ModulePath, filepath.ToSlash(rel)), nil
+}
+
+// Import type-checks the package with the given import path for use as a
+// dependency: declarations only, function bodies skipped. Module-internal
+// paths resolve relative to the module root; everything else resolves
+// through go/build (GOROOT for the standard library, with a fallback into
+// GOROOT's vendored golang.org/x packages). Import never fails hard on a
+// resolvable package: partially checked dependencies are returned as-is and
+// rules simply see less type information.
+func (l *Loader) Import(importPath string) (*types.Package, error) {
+	if importPath == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.imports[importPath]; ok {
+		return pkg, nil
+	}
+	if l.importing[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", importPath)
+	}
+	l.importing[importPath] = true
+	defer delete(l.importing, importPath)
+
+	bp, err := l.resolve(importPath)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(bp.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Error:            func(error) {}, // tolerate partial dependencies
+	}
+	pkg, err := conf.Check(importPath, l.fset, files, nil)
+	if pkg == nil {
+		return nil, err
+	}
+	l.imports[importPath] = pkg
+	return pkg, nil
+}
+
+// resolve locates the source directory for an import path.
+func (l *Loader) resolve(importPath string) (*build.Package, error) {
+	if importPath == l.ModulePath || strings.HasPrefix(importPath, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(importPath, l.ModulePath)
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+		return build.ImportDir(dir, 0)
+	}
+	bp, err := build.Import(importPath, l.ModuleRoot, 0)
+	if err == nil {
+		return bp, nil
+	}
+	// The standard library vendors golang.org/x packages under
+	// GOROOT/src/vendor; go/build only resolves them for importers inside
+	// GOROOT, so retry under the vendor prefix.
+	if vbp, verr := build.Import(path.Join("vendor", importPath), "", 0); verr == nil {
+		return vbp, nil
+	}
+	return nil, err
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFindModule(t *testing.T) {
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modPath != "nimbus" {
+		t.Errorf("module path = %q, want nimbus", modPath)
+	}
+	here, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel, err := filepath.Rel(root, here); err != nil || strings.HasPrefix(rel, "..") {
+		t.Errorf("module root %q does not contain the test dir %q", root, here)
+	}
+}
+
+func TestLoadRecursiveSkipsTestdata(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "./..." from this package's directory covers internal/analysis only;
+	// the testdata tree below it must be invisible to pattern expansion.
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		paths := make([]string, len(pkgs))
+		for i, p := range pkgs {
+			paths[i] = p.Path
+		}
+		t.Fatalf("Load(./...) = %v, want just this package", paths)
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "nimbus/internal/analysis" {
+		t.Errorf("package path = %q, want nimbus/internal/analysis", pkg.Path)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Errorf("type errors in own package: %v", pkg.TypeErrors)
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file %s was loaded for analysis", name)
+		}
+		if strings.Contains(name, "testdata") {
+			t.Errorf("testdata file %s was loaded for analysis", name)
+		}
+	}
+}
+
+func TestLoadRejectsOutsideModule(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load("/"); err == nil {
+		t.Error("loading a directory outside the module did not fail")
+	}
+}
+
+func TestLoadDirTypeChecksDependencies(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The telemetry golden imports nimbus/internal/telemetry, which pulls
+	// in a realistic stdlib closure; a full load proves the source
+	// importer resolves module-internal and GOROOT packages.
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "telemetrylabels"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("Register") == nil {
+		t.Fatal("telemetrylabels did not type-check to a usable package")
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Errorf("type errors: %v", pkg.TypeErrors)
+	}
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedError reports error results that are silently discarded: a bare
+// call statement (including defer and go) whose callee returns an error,
+// and assignments of an error result to the blank identifier. In a broker
+// that moves money, a swallowed error is a mispriced sale or a corrupted
+// curve; the tree's policy is to handle the error or carry a justified
+// //lint:ignore at the call site.
+//
+// A small allowlist keeps the rule signal-heavy: everything in fmt, the
+// never-failing writers strings.Builder and bytes.Buffer, and writes to an
+// http.ResponseWriter (a client that hangs up mid-response is not
+// actionable by the handler).
+type DroppedError struct{}
+
+func (DroppedError) Name() string { return "no-dropped-error" }
+
+func (DroppedError) Doc() string {
+	return "error results must not be dropped with a bare call or _ assignment " +
+		"outside tests; handle them or suppress with a reason"
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func (DroppedError) Inspect(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				reportBareCall(p, st.X)
+			case *ast.DeferStmt:
+				reportBareCall(p, st.Call)
+			case *ast.GoStmt:
+				reportBareCall(p, st.Call)
+			case *ast.AssignStmt:
+				reportBlankedErrors(p, st)
+			}
+			return true
+		})
+	}
+}
+
+// reportBareCall flags x when it is a call whose error result(s) vanish.
+func reportBareCall(p *Pass, x ast.Expr) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok || isConversion(p, call) || allowedCallee(p, call) {
+		return
+	}
+	if len(errorResultIndexes(p, call)) > 0 {
+		p.Reportf(call.Pos(), "error result of %s is discarded; handle it or ignore it with a reason", calleeName(p, call))
+	}
+}
+
+// reportBlankedErrors flags `_` targets that receive an error from a call.
+func reportBlankedErrors(p *Pass, st *ast.AssignStmt) {
+	if len(st.Rhs) == 1 {
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok || isConversion(p, call) || allowedCallee(p, call) {
+			return
+		}
+		for _, i := range errorResultIndexes(p, call) {
+			if i < len(st.Lhs) && isBlank(st.Lhs[i]) {
+				p.Reportf(st.Lhs[i].Pos(), "error result of %s is discarded with _; handle it or ignore it with a reason", calleeName(p, call))
+			}
+		}
+		return
+	}
+	for i, rhs := range st.Rhs {
+		if i >= len(st.Lhs) || !isBlank(st.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || isConversion(p, call) || allowedCallee(p, call) {
+			continue
+		}
+		if idx := errorResultIndexes(p, call); len(idx) == 1 && idx[0] == 0 {
+			p.Reportf(st.Lhs[i].Pos(), "error result of %s is discarded with _; handle it or ignore it with a reason", calleeName(p, call))
+		}
+	}
+}
+
+// errorResultIndexes returns the result positions of call with type error.
+func errorResultIndexes(p *Pass, call *ast.CallExpr) []int {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		var idx []int
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errorType) {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	if types.Identical(t, errorType) {
+		return []int{0}
+	}
+	return nil
+}
+
+// isConversion reports whether call is actually a type conversion.
+func isConversion(p *Pass, call *ast.CallExpr) bool {
+	return p.Info.Types[call.Fun].IsType()
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// allowedCallee applies the rule's allowlist.
+func allowedCallee(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer", "net/http.ResponseWriter":
+		return true
+	}
+	return false
+}
+
+// calleeName renders the callee for a diagnostic.
+func calleeName(p *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(p, call); fn != nil {
+		return fn.FullName()
+	}
+	return "call"
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

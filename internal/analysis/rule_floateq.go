@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq reports == and != between floating-point operands in the scoped
+// packages. The pricing pipeline's curves are Monte-Carlo estimates
+// projected onto monotone cones (Theorem 4) and its solvers walk quality
+// grids; in that world two floats that are "the same point" rarely share a
+// bit pattern, so exact equality is either a latent bug or an invariant
+// (e.g. an exact grid hit) that must be expressed through an index or an
+// ordered comparison instead. Comparisons folded at compile time (both
+// operands constant) are exempt.
+type FloatEq struct {
+	// Scope lists the package paths (subtrees included) the rule applies
+	// to; empty means every package.
+	Scope []string
+}
+
+func (FloatEq) Name() string { return "no-float-eq" }
+
+func (FloatEq) Doc() string {
+	return "curve and grid code must not compare floats with == or !=; use an " +
+		"epsilon, an ordered comparison against a known bound, or a grid index"
+}
+
+func (r FloatEq) Inspect(p *Pass) {
+	if len(r.Scope) > 0 && !matchScope(r.Scope, p.Path) {
+		return
+	}
+	isFloat := func(e ast.Expr) bool {
+		t := p.Info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	isConst := func(e ast.Expr) bool {
+		return p.Info.Types[e].Value != nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(be.X) && !isFloat(be.Y) {
+				return true
+			}
+			if isConst(be.X) && isConst(be.Y) {
+				return true
+			}
+			p.Reportf(be.OpPos, "floating-point %s comparison; compare with an epsilon or by grid index", be.Op)
+			return true
+		})
+	}
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import "strings"
+
+// NoNakedRand reports imports of math/rand (v1 or v2) outside the allowed
+// packages. Every sanctioned draw in Nimbus flows through internal/rng,
+// whose sources are seeded centrally: a purchase's Gaussian perturbation
+// (Lemma 3) and the Monte-Carlo error transformation (Figure 6) must both
+// be replayable from a recorded seed, and a naked math/rand import — which
+// defaults to a process-global, time-seeded source — silently breaks that.
+// Test files are never analyzed, so tests may use math/rand freely.
+type NoNakedRand struct {
+	// Allow lists package paths (subtrees included) where the import is
+	// legitimate; internal/rng itself is the canonical entry.
+	Allow []string
+}
+
+func (NoNakedRand) Name() string { return "no-naked-rand" }
+
+func (NoNakedRand) Doc() string {
+	return "math/rand may only be imported by internal/rng; everything else draws " +
+		"through a seeded rng.Source so noise and traffic are replayable"
+}
+
+func (r NoNakedRand) Inspect(p *Pass) {
+	if matchScope(r.Allow, p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s bypasses the centrally seeded internal/rng streams; take an *rng.Source (or a seed) instead", path)
+			}
+		}
+	}
+}

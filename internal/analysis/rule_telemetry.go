@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TelemetryLabel reports telemetry series registrations whose metric name
+// or label arguments are not compile-time constants. The telemetry registry
+// interns every (name, labels) series forever; a label derived from a
+// request (a buyer id, a raw path, a float rendered to a string) turns the
+// registry into an unbounded leak and the /metrics exposition into a
+// cardinality bomb. Values that are provably bounded but not constant —
+// an offering name from the configured menu, a route from a fixed table —
+// carry a //lint:ignore stating the boundedness argument.
+type TelemetryLabel struct {
+	// TelemetryPath is the import path of the telemetry package whose
+	// registration methods are checked.
+	TelemetryPath string
+}
+
+func (TelemetryLabel) Name() string { return "telemetry-label-literal" }
+
+func (TelemetryLabel) Doc() string {
+	return "metric names and labels passed to telemetry registration must be " +
+		"string literals or constants, so series cardinality is bounded at compile time"
+}
+
+// registrationMethods are the Registry methods that intern a series.
+var registrationMethods = map[string]bool{
+	"Counter":      true,
+	"FloatCounter": true,
+	"Gauge":        true,
+	"GaugeFunc":    true,
+	"Histogram":    true,
+}
+
+func (r TelemetryLabel) Inspect(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != r.TelemetryPath || !registrationMethods[fn.Name()] {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || !sig.Variadic() {
+				return true
+			}
+			if call.Ellipsis.IsValid() {
+				p.Reportf(call.Ellipsis, "labels forwarded with ... to %s cannot be proven constant; spell them out or ignore with a boundedness argument", fn.Name())
+				return true
+			}
+			// The variadic labels occupy the final parameter slot; the
+			// metric name is always the first argument. Both are
+			// cardinality-bearing, so both must be constant.
+			firstLabel := sig.Params().Len() - 1
+			for i, arg := range call.Args {
+				if i != 0 && i < firstLabel {
+					continue // e.g. Histogram's buckets, GaugeFunc's fn
+				}
+				if p.Info.Types[arg].Value != nil {
+					continue
+				}
+				what := "label"
+				if i == 0 {
+					what = "metric name"
+				}
+				p.Reportf(arg.Pos(), "%s passed to %s is not a constant; non-constant series identities make metric cardinality unbounded", what, fn.Name())
+			}
+			return true
+		})
+	}
+}

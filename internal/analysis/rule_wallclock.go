@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock reports references to time.Now in the scoped deterministic
+// packages. Experiment harness code (Figures 6–14) and the pricing/solver
+// packages must be byte-for-byte replayable; timings there flow through an
+// injected clock (see internal/experiments.Clock) so a replay can
+// substitute a fake. The single place a package binds its default clock to
+// the real time.Now carries a //lint:ignore with its justification, which
+// keeps every wall-clock dependency greppable.
+type WallClock struct {
+	// Scope lists the package paths (subtrees included) the rule applies
+	// to; empty means every package.
+	Scope []string
+}
+
+func (WallClock) Name() string { return "no-wallclock" }
+
+func (WallClock) Doc() string {
+	return "deterministic experiment/pricing packages must not read time.Now " +
+		"directly; thread an injected clock so replays are reproducible"
+}
+
+func (r WallClock) Inspect(p *Pass) {
+	if len(r.Scope) > 0 && !matchScope(r.Scope, p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Now" {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[ident].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			p.Reportf(sel.Pos(), "time.Now in deterministic package %s; use the injected clock so replays are reproducible", p.Path)
+			return true
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import "strings"
+
+// DefaultRules is the rule set cmd/nimbus-lint runs over the tree, with
+// each rule scoped to the packages whose invariants it protects:
+//
+//   - no-naked-rand everywhere except internal/rng, whose seeded sources
+//     are the only sanctioned randomness (Lemma 3's calibrated mechanisms
+//     must be replayable from one seed);
+//   - no-float-eq in the curve/grid packages, where Monte-Carlo jitter
+//     makes bitwise float equality meaningless (Theorems 4–7 reason about
+//     monotone curves up to epsilon);
+//   - no-wallclock in the deterministic solver and experiment packages, so
+//     Figure 6–14 replays are reproducible under an injected clock;
+//   - no-dropped-error everywhere;
+//   - telemetry-label-literal everywhere internal/telemetry is used.
+func DefaultRules(modulePath string) []Rule {
+	internal := func(pkg string) string { return modulePath + "/internal/" + pkg }
+	deterministic := []string{
+		internal("pricing"),
+		internal("isotone"),
+		internal("opt"),
+		internal("lp"),
+		internal("experiments"),
+	}
+	return []Rule{
+		NoNakedRand{Allow: []string{internal("rng")}},
+		FloatEq{Scope: []string{
+			internal("pricing"),
+			internal("isotone"),
+			internal("opt"),
+			internal("lp"),
+		}},
+		WallClock{Scope: deterministic},
+		DroppedError{},
+		TelemetryLabel{TelemetryPath: internal("telemetry")},
+	}
+}
+
+// matchScope reports whether pkgPath is pkgs[i] or beneath pkgs[i] for some
+// i. An empty list matches nothing.
+func matchScope(pkgs []string, pkgPath string) bool {
+	for _, p := range pkgs {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}

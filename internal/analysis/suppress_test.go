@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseForIgnores compiles a snippet far enough to scan its comments.
+func parseForIgnores(t *testing.T, src string) *ignoreSet {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return collectIgnores(fset, []*ast.File{f})
+}
+
+func TestIgnoreDirectiveForms(t *testing.T) {
+	s := parseForIgnores(t, `package p
+
+//lint:ignore rule-a covered above
+var a = 1
+
+var b = 2 //lint:ignore rule-b trailing
+
+//lint:ignore rule-c,rule-d two rules at once
+var cd = 3
+`)
+	if len(s.malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", s.malformed)
+	}
+	cases := []struct {
+		rule string
+		line int
+		want bool
+	}{
+		{"rule-a", 4, true},   // line-above form
+		{"rule-b", 6, true},   // trailing form
+		{"rule-c", 9, true},   // first of a comma list
+		{"rule-d", 9, true},   // second of a comma list
+		{"rule-a", 6, false},  // wrong line
+		{"rule-x", 4, false},  // unnamed rule
+		{"rule-b", 10, false}, // far away
+	}
+	for _, c := range cases {
+		d := Diagnostic{Rule: c.rule, File: "snippet.go", Line: c.line}
+		if got := s.suppresses(d); got != c.want {
+			t.Errorf("suppresses(%s at line %d) = %v, want %v", c.rule, c.line, got, c.want)
+		}
+	}
+}
+
+func TestIgnoreDirectiveMalformed(t *testing.T) {
+	s := parseForIgnores(t, `package p
+
+//lint:ignore no-wallclock
+var a = 1
+
+//lint:ignore
+var b = 2
+
+//lint:ignored is a different word entirely
+var c = 3
+`)
+	if len(s.malformed) != 2 {
+		t.Fatalf("got %d malformed directives (%v), want 2", len(s.malformed), s.malformed)
+	}
+	for _, d := range s.malformed {
+		if d.Rule != "lint-ignore" {
+			t.Errorf("malformed directive reported under rule %q, want lint-ignore", d.Rule)
+		}
+		if !strings.Contains(d.Message, "//lint:ignore") {
+			t.Errorf("message %q does not explain the grammar", d.Message)
+		}
+	}
+	if s.malformed[0].Line != 3 || s.malformed[1].Line != 6 {
+		t.Errorf("malformed directive lines = %d, %d; want 3, 6", s.malformed[0].Line, s.malformed[1].Line)
+	}
+	// A reasonless directive suppresses nothing.
+	if s.suppresses(Diagnostic{Rule: "no-wallclock", File: "snippet.go", Line: 4}) {
+		t.Error("malformed directive suppressed a diagnostic")
+	}
+}

@@ -1,0 +1,35 @@
+// Package droppederr is golden input for the no-dropped-error rule.
+package droppederr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Bad drops errors in every shape the rule knows.
+func Bad() {
+	fail()         // want no-dropped-error
+	_ = fail()     // want no-dropped-error
+	n, _ := pair() // want no-dropped-error
+	_ = n
+	defer fail() // want no-dropped-error
+	go fail()    // want no-dropped-error
+}
+
+// Good handles, propagates, or calls into the allowlist.
+func Good() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x")      // ok: fmt is allowlisted
+	_, _ = b.WriteString("y") // ok: strings.Builder never fails
+	if err := fail(); err != nil {
+		return "", err
+	}
+	n, err := pair()
+	_ = n // ok: int, not error
+	return b.String(), err
+}

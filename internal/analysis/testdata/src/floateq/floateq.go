@@ -1,0 +1,38 @@
+// Package floateq is golden input for the no-float-eq rule.
+package floateq
+
+// Size is a named float type; the rule sees through it.
+type Size float64
+
+const (
+	a = 1.5
+	b = 2.5
+)
+
+// Folded is constant at compile time, so it is exempt.
+var Folded = a == b
+
+// Eq compares raw float64s both ways.
+func Eq(x, y float64) bool {
+	if x == y { // want no-float-eq
+		return true
+	}
+	return x != y // want no-float-eq
+}
+
+// Zero compares a float against an untyped constant; the variable side
+// still makes it a runtime float comparison.
+func Zero(x float64) bool { return x == 0 } // want no-float-eq
+
+// Named compares values of a defined float type.
+func Named(x, y Size) bool { return x == y } // want no-float-eq
+
+// Narrow compares float32s.
+func Narrow(x, y float32) bool { return x != y } // want no-float-eq
+
+// Ints is exempt: integer equality is exact.
+func Ints(x, y int) bool { return x == y }
+
+// Ordered is exempt: ordered comparisons are how grid code is supposed to
+// resolve exact hits.
+func Ordered(x, y float64) bool { return x >= y }

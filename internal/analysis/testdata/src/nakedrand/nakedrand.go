@@ -1,0 +1,19 @@
+// Package nakedrand is golden input for the no-naked-rand rule. Trailing
+// "want" comments declare the exact diagnostics the rule must produce.
+package nakedrand
+
+import (
+	crand "crypto/rand" // ok: crypto/rand is not the seeded-stream concern
+	"math/rand"         // want no-naked-rand
+)
+
+// Draw uses the process-global, unseeded stream — exactly what breaks
+// replayable noise.
+func Draw() int { return rand.Int() }
+
+// Fill is fine: crypto/rand is for key material, not mechanism noise.
+func Fill(b []byte) {
+	if _, err := crand.Read(b); err != nil {
+		panic(err)
+	}
+}

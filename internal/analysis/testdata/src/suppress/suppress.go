@@ -1,0 +1,16 @@
+// Package suppress is golden input for //lint:ignore handling: directives
+// in both supported positions silence findings, an unrelated directive does
+// not, and an unsuppressed site still fires.
+package suppress
+
+import "time"
+
+//lint:ignore no-wallclock boot stamp is display-only, never replayed
+var boot = time.Now()
+
+var traced = time.Now() //lint:ignore no-wallclock trailing form, also display-only
+
+//lint:ignore no-float-eq directive names a different rule, so this still fires
+var leaked = time.Now() // want no-wallclock
+
+var naked = time.Now() // want no-wallclock

@@ -1,0 +1,28 @@
+// Package telemetrylabels is golden input for the telemetry-label-literal
+// rule; it registers series against the real internal/telemetry API.
+package telemetrylabels
+
+import "nimbus/internal/telemetry"
+
+const route = "/buy"
+
+// Register mixes constant and request-derived series identities.
+func Register(reg *telemetry.Registry, user string, labels []string) {
+	reg.Counter("requests_total", "route", route)                 // ok: all constant
+	reg.Counter("requests_total", "user", user)                   // want telemetry-label-literal
+	reg.Histogram("latency_seconds", nil, "route", "GET "+route)  // ok: constant concatenation
+	reg.Gauge("queue_depth", labels...)                           // want telemetry-label-literal
+	reg.FloatCounter("revenue_total", "offering", offering())     // want telemetry-label-literal
+	reg.GaugeFunc("mem_bytes", func() float64 { return 0 }, "area", "heap") // ok
+}
+
+// Dynamic builds the series name at runtime — the same cardinality bomb
+// from the other direction.
+func Dynamic(reg *telemetry.Registry, shard int) {
+	name := seriesName(shard)
+	reg.Counter(name) // want telemetry-label-literal
+}
+
+func seriesName(int) string { return "x" }
+
+func offering() string { return "CASP/linreg" }

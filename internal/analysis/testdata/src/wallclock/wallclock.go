@@ -1,0 +1,36 @@
+// Package wallclock is golden input for the no-wallclock rule.
+package wallclock
+
+import (
+	"time"
+
+	tm "time"
+)
+
+// Clock is the injection pattern the rule pushes callers toward.
+type Clock func() time.Time
+
+// Stamp reads the wall clock directly.
+func Stamp() time.Time {
+	return time.Now() // want no-wallclock
+}
+
+// Aliased reads it through a renamed import.
+func Aliased() time.Time {
+	return tm.Now() // want no-wallclock
+}
+
+// now binds the wall clock into a package variable; the reference itself is
+// the finding (this is where an injection point would carry its ignore).
+var now = time.Now // want no-wallclock
+
+// Use goes through an injected clock: no finding.
+func Use(c Clock) time.Duration {
+	return c().Sub(c())
+}
+
+// Since is fine: time.Since is not time.Now (the rule is deliberately
+// narrow; Since-based timings of injected stamps stay legal).
+func Since(t time.Time) time.Duration {
+	return now().Sub(t)
+}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"math"
-	"time"
 
 	"nimbus/internal/dataset"
 	"nimbus/internal/ml"
@@ -93,18 +92,18 @@ func RunErrorInverseAblation(scale float64, samples int, seed int64) ([]ErrorInv
 		if err != nil {
 			return nil, err
 		}
-		t0 := time.Now()
+		analyticElapsed := stopwatch()
 		analytic, err := pricing.AnalyticSquaredTransform(optimal, loss, pair.Test, grid)
-		analyticTime := time.Since(t0)
+		analyticTime := analyticElapsed()
 		if err != nil {
 			return nil, err
 		}
-		t1 := time.Now()
+		mcElapsed := stopwatch()
 		mc, err := pricing.MonteCarloTransform(pricing.TransformConfig{
 			Optimal: optimal, Loss: loss, Data: pair.Test,
 			Xs: grid, Samples: samples, Seed: seed,
 		})
-		mcTime := time.Since(t1)
+		mcTime := mcElapsed()
 		if err != nil {
 			return nil, err
 		}
@@ -151,32 +150,32 @@ func RunTrainerAblation(scale float64, seed int64) ([]TrainerResult, error) {
 		switch pair.Train.Task {
 		case dataset.Regression:
 			loss := ml.SquaredLoss{Reg: 1e-4}
-			t0 := time.Now()
+			fitElapsed := stopwatch()
 			w, err := ml.LinearRegression{Ridge: 1e-4}.Fit(pair.Train)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, TrainerResult{pair.Name, "linear-regression", "normal-equations", loss.Eval(w, pair.Train), time.Since(t0).Seconds()})
-			t1 := time.Now()
+			out = append(out, TrainerResult{pair.Name, "linear-regression", "normal-equations", loss.Eval(w, pair.Train), fitElapsed().Seconds()})
+			gdElapsed := stopwatch()
 			wg, err := ml.GradientDescent{MaxIter: 500, Step: 0.5}.Minimize(loss, pair.Train)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, TrainerResult{pair.Name, "linear-regression", "gradient-descent", loss.Eval(wg, pair.Train), time.Since(t1).Seconds()})
+			out = append(out, TrainerResult{pair.Name, "linear-regression", "gradient-descent", loss.Eval(wg, pair.Train), gdElapsed().Seconds()})
 		case dataset.Classification:
 			loss := ml.LogisticLoss{Reg: 1e-4}
-			t0 := time.Now()
+			fitElapsed := stopwatch()
 			w, err := ml.LogisticRegression{Ridge: 1e-4}.Fit(pair.Train)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, TrainerResult{pair.Name, "logistic-regression", "newton", loss.Eval(w, pair.Train), time.Since(t0).Seconds()})
-			t1 := time.Now()
+			out = append(out, TrainerResult{pair.Name, "logistic-regression", "newton", loss.Eval(w, pair.Train), fitElapsed().Seconds()})
+			gdElapsed := stopwatch()
 			wg, err := ml.GradientDescent{MaxIter: 500, Step: 0.5}.Minimize(loss, pair.Train)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, TrainerResult{pair.Name, "logistic-regression", "gradient-descent", loss.Eval(wg, pair.Train), time.Since(t1).Seconds()})
+			out = append(out, TrainerResult{pair.Name, "logistic-regression", "gradient-descent", loss.Eval(wg, pair.Train), gdElapsed().Seconds()})
 		}
 	}
 	return out, nil

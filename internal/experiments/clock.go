@@ -1,0 +1,41 @@
+package experiments
+
+import "time"
+
+// Clock is the time source the experiment harness stamps solver timings
+// with (the Seconds/Micros fields of the Figure 7–14 results). Replays
+// inject a fake via SetClock so a rerun of a recorded experiment is
+// byte-for-byte reproducible; everything else in this package is already
+// deterministic given a seed.
+type Clock func() time.Time
+
+// clock is the package's injected time source. This is the single place
+// the experiment harness is allowed to touch the wall clock; every timing
+// in the package flows through it via stopwatch.
+//
+//lint:ignore no-wallclock the one sanctioned wall-clock binding; replays swap it out with SetClock
+var clock Clock = time.Now
+
+// SetClock installs c as the package time source and returns a function
+// that restores the previous one. A nil c leaves the current source in
+// place. Typical replay/test use:
+//
+//	defer experiments.SetClock(fake)()
+//
+// SetClock is not safe for use concurrently with running experiments; it
+// is a harness-setup knob, not a runtime switch.
+func SetClock(c Clock) (restore func()) {
+	prev := clock
+	if c != nil {
+		clock = c
+	}
+	return func() { clock = prev }
+}
+
+// stopwatch starts timing on the package clock and returns a function that
+// reports the elapsed duration, replacing the t0 := time.Now() /
+// time.Since(t0) pattern at every solver-timing call site.
+func stopwatch() func() time.Duration {
+	start := clock()
+	return func() time.Duration { return clock().Sub(start) }
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"nimbus/internal/opt"
+)
+
+// tickingClock advances a fixed step per reading, making every stopwatch
+// interval exactly one step regardless of host speed.
+func tickingClock(step time.Duration) Clock {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestSetClockRestores(t *testing.T) {
+	fake := tickingClock(time.Second)
+	restore := SetClock(fake)
+	if got := stopwatch()(); got != time.Second {
+		restore()
+		t.Fatalf("stopwatch under fake clock = %v, want 1s", got)
+	}
+	restore()
+	// Back on the real clock a stopwatch interval is tiny, not a clean
+	// fake-clock second.
+	if got := stopwatch()(); got < 0 || got == time.Second {
+		t.Fatalf("stopwatch after restore = %v, want a real (sub-second) reading", got)
+	}
+	// A nil clock is a no-op, not a panic source.
+	SetClock(nil)()
+}
+
+// TestCompareMethodsDeterministicTimings replays the Figure 5 workload
+// under an injected clock: every solver's Seconds field must come out as
+// exactly one fake-clock step, proving the harness timings flow through
+// the clock and nothing reads time.Now behind its back.
+func TestCompareMethodsDeterministicTimings(t *testing.T) {
+	defer SetClock(tickingClock(250 * time.Millisecond))()
+	prob, err := opt.NewProblem([]opt.BuyerPoint{
+		{X: 1, Value: 100, Mass: 0.25},
+		{X: 2, Value: 150, Mass: 0.25},
+		{X: 3, Value: 280, Mass: 0.25},
+		{X: 4, Value: 350, Mass: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := CompareMethods(prob, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(MethodNames)+1 {
+		t.Fatalf("got %d results, want %d methods plus MILP", len(results), len(MethodNames))
+	}
+	for _, r := range results {
+		if r.Seconds != 0.25 {
+			t.Errorf("%s Seconds = %v under a 250ms ticking clock, want exactly 0.25", r.Method, r.Seconds)
+		}
+	}
+}

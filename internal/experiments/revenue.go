@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"nimbus/internal/opt"
 	"nimbus/internal/pricing"
@@ -34,9 +33,9 @@ func CompareMethods(p *opt.Problem, includeMILP bool) ([]MethodResult, error) {
 		return zs
 	}
 
-	start := time.Now()
+	dpElapsed := stopwatch()
 	dpFunc, _, err := opt.MaximizeRevenueDP(p)
-	dpTime := time.Since(start)
+	dpTime := dpElapsed()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: MBP: %w", err)
 	}
@@ -58,9 +57,9 @@ func CompareMethods(p *opt.Problem, includeMILP bool) ([]MethodResult, error) {
 		{"OptC", opt.OptC},
 	}
 	for _, b := range baselines {
-		start := time.Now()
+		buildElapsed := stopwatch()
 		f, err := b.build(p)
-		elapsed := time.Since(start)
+		elapsed := buildElapsed()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", b.name, err)
 		}
@@ -74,9 +73,9 @@ func CompareMethods(p *opt.Problem, includeMILP bool) ([]MethodResult, error) {
 	}
 
 	if includeMILP {
-		start := time.Now()
+		milpElapsed := stopwatch()
 		prices, rev, err := opt.MaximizeRevenueBruteForce(p)
-		elapsed := time.Since(start)
+		elapsed := milpElapsed()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: MILP: %w", err)
 		}

@@ -333,6 +333,7 @@ func pivot(tab [][]float64, basis []int, row, col, total int) {
 			continue
 		}
 		f := tab[i][col]
+		//lint:ignore no-float-eq an exactly-zero multiplier marks an already-eliminated cell; an epsilon would skip live pivots and corrupt the tableau
 		if f == 0 || math.IsInf(f, 0) {
 			if math.IsInf(f, 0) {
 				// Infinity markers only appear in blocked objective cells;

@@ -62,6 +62,7 @@ func (b *Broker) SetTelemetry(reg *telemetry.Registry) {
 	// later listings get theirs in List. Caching the handle on the
 	// offering keeps registry lookups off the sale path.
 	for _, o := range b.offerings {
+		//lint:ignore telemetry-label-literal offering names come from the seller-curated menu, not from buyer requests, so the series set is bounded by listings
 		o.sales = reg.Counter("nimbus_purchases_total", "offering", o.Name)
 	}
 }
@@ -81,6 +82,7 @@ func (b *Broker) recordReject(err error) {
 	case errors.Is(err, pricing.ErrOverBudget):
 		reason = "over-budget"
 	}
+	//lint:ignore telemetry-label-literal reason is mapped onto the fixed four-value set above before it reaches the registry
 	b.tel.reg.Counter("nimbus_purchase_rejects_total", "reason", reason).Inc()
 }
 
@@ -140,6 +142,7 @@ func (b *Broker) List(cfg OfferingConfig) (*Offering, error) {
 		return nil, fmt.Errorf("market: offering %s already listed", o.Name)
 	}
 	if b.tel.reg != nil {
+		//lint:ignore telemetry-label-literal offering names come from the seller-curated menu, not from buyer requests, so the series set is bounded by listings
 		o.sales = b.tel.reg.Counter("nimbus_purchases_total", "offering", o.Name)
 	}
 	b.offerings[o.Name] = o

@@ -46,7 +46,9 @@ type CompressedMenu struct {
 // Retention is RolledUpRevenue / FullRevenue (can exceed 1: see the
 // versioning effect above).
 func (c *CompressedMenu) Retention() float64 {
-	if c.FullRevenue == 0 {
+	// Revenues are non-negative by construction, so an ordered comparison
+	// guards the division without a float equality.
+	if c.FullRevenue <= 0 {
 		return 1
 	}
 	return c.RolledUpRevenue / c.FullRevenue

@@ -63,7 +63,10 @@ func NewProblem(points []BuyerPoint) (*Problem, error) {
 			return nil, fmt.Errorf("opt: point %d has negative value/mass (%v, %v): %w", i, p.Value, p.Mass, ErrInvalidProblem)
 		}
 		if i > 0 {
-			if p.X == pts[i-1].X {
+			// Points are sorted by X above, so failing to strictly exceed
+			// the predecessor means a duplicate — detected by order, not
+			// bitwise float equality.
+			if p.X <= pts[i-1].X {
 				return nil, fmt.Errorf("opt: duplicate quality %v: %w", p.X, ErrInvalidProblem)
 			}
 			if p.Value < pts[i-1].Value {
@@ -124,7 +127,9 @@ func (p *Problem) Affordability(price func(float64) float64) float64 {
 			can += pt.Mass
 		}
 	}
-	if total == 0 {
+	// Masses are validated non-negative, so an ordered comparison guards
+	// the division without a float equality.
+	if total <= 0 {
 		return 0
 	}
 	return can / total

@@ -58,7 +58,10 @@ func NewFunction(pts []Point) (*Function, error) {
 		if p.Price < 0 || math.IsNaN(p.Price) {
 			return nil, fmt.Errorf("pricing: knot %d has negative price %v: %w", i, p.Price, ErrIllFormed)
 		}
-		if i > 0 && p.X == sorted[i-1].X {
+		// Knots are sorted by X above, so failing to strictly exceed the
+		// predecessor means a duplicate — detected by order, not bitwise
+		// float equality.
+		if i > 0 && p.X <= sorted[i-1].X {
 			return nil, fmt.Errorf("pricing: duplicate quality x=%v: %w", p.X, ErrIllFormed)
 		}
 	}

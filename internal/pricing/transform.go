@@ -46,7 +46,10 @@ func newErrorCurve(lossName string, xs, errs []float64) (*ErrorCurve, error) {
 		if x <= 0 {
 			return nil, fmt.Errorf("pricing: quality grid point %d is %v, must be positive", i, x)
 		}
-		if i > 0 && x == xs[i-1] {
+		// The grid is already known to be sorted, so a point that fails to
+		// strictly exceed its predecessor is a duplicate — no bitwise float
+		// equality needed.
+		if i > 0 && x <= xs[i-1] {
 			return nil, fmt.Errorf("pricing: duplicate quality grid point %v", x)
 		}
 	}
@@ -70,8 +73,12 @@ func (c *ErrorCurve) Err(x float64) float64 {
 	if x >= c.Xs[last] {
 		return c.Errs[last]
 	}
+	// SearchFloat64s returns the first index with Xs[i] >= x, so x >= Xs[i]
+	// can only hold on an exact grid hit: resolve it by grid index rather
+	// than bitwise float equality, which keeps knot lookups exact without
+	// an equality comparison the Monte-Carlo jitter could invalidate.
 	i := sort.SearchFloat64s(c.Xs, x)
-	if c.Xs[i] == x {
+	if x >= c.Xs[i] {
 		return c.Errs[i]
 	}
 	t := (x - c.Xs[i-1]) / (c.Xs[i] - c.Xs[i-1])
@@ -93,8 +100,11 @@ func (c *ErrorCurve) XForError(target float64) (float64, error) {
 	// Errs is non-increasing; find the first index with Errs[i] ≤ target.
 	i := sort.Search(len(c.Errs), func(i int) bool { return c.Errs[i] <= target })
 	// Interpolate within the bracketing segment for a continuous inverse.
+	// Errs is non-increasing, so a segment that is not strictly decreasing
+	// is flat; an ordered comparison detects it without float equality (and
+	// also guards the division below against a zero denominator).
 	e0, e1 := c.Errs[i-1], c.Errs[i]
-	if e0 == e1 {
+	if e0 <= e1 {
 		return c.Xs[i], nil
 	}
 	t := (e0 - target) / (e0 - e1)

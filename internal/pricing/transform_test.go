@@ -209,3 +209,39 @@ func TestDefaultGrid(t *testing.T) {
 		t.Fatal("degenerate grid size not fixed up")
 	}
 }
+
+// TestErrExactGridHitResolvesByIndex pins the regression for the
+// no-float-eq fix in Err: an x that lands exactly on a grid knot must
+// return that knot's stored error bit-for-bit, resolved through the search
+// index rather than a float == — which matters because interpolating the
+// bracketing segment at t=1 (e0 + (e1-e0)) does not round back to e1 for
+// these values.
+func TestErrExactGridHitResolvesByIndex(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	errs := []float64{0.9, 0.7, 0.1}
+	if e0, e1 := errs[1], errs[2]; e0+(e1-e0) == e1 {
+		t.Fatal("fixture is too tame: endpoint interpolation is exact, pick values that round")
+	}
+	c, err := ExactCurve("fixture", xs, errs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		if got := c.Err(x); got != errs[i] {
+			t.Errorf("Err(%v) = %v, want the knot value %v exactly", x, got, errs[i])
+		}
+	}
+	// Between knots it still interpolates.
+	if got, want := c.Err(1.5), 0.8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Err(1.5) = %v, want %v", got, want)
+	}
+}
+
+// TestErrorCurveRejectsDuplicateGrid pins the ordered-comparison rewrite of
+// the duplicate-grid check: equal neighbours in a sorted grid must still be
+// rejected.
+func TestErrorCurveRejectsDuplicateGrid(t *testing.T) {
+	if _, err := ExactCurve("dup", []float64{1, 2, 2, 3}, []float64{4, 3, 2, 1}); err == nil {
+		t.Fatal("duplicate grid point was accepted")
+	}
+}

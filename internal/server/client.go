@@ -64,6 +64,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if err != nil {
 		return fmt.Errorf("calling broker: %w", err)
 	}
+	//lint:ignore no-dropped-error a failed close of a fully-read response body has nothing for the client to act on
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		var e ErrorResponse
