@@ -1,18 +1,21 @@
 // Command nimbus-cli is the buyer's terminal client for a running nimbusd
-// broker.
+// broker, plus the operator's offline journal inspector.
 //
 //	nimbus-cli -addr http://localhost:8080 menu
 //	nimbus-cli curve -offering Simulated1/linear-regression -loss squared
 //	nimbus-cli buy -offering Simulated1/linear-regression -loss squared -option price-budget -value 25
+//	nimbus-cli journal verify -dir /var/lib/nimbus/journal
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"nimbus/internal/journal"
 	"nimbus/internal/server"
 )
 
@@ -27,13 +30,46 @@ func main() {
 
 func run(addr string, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: nimbus-cli [-addr URL] <menu|curve|buy|stats> [flags]")
+		return fmt.Errorf("usage: nimbus-cli [-addr URL] <menu|curve|buy|stats|statement|journal> [flags]")
 	}
 	client := server.NewClient(addr)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
 	switch cmd := args[0]; cmd {
+	case "journal":
+		// Offline: scans a journal directory on the local filesystem, no
+		// broker required.
+		if len(args) < 2 || args[1] != "verify" {
+			return fmt.Errorf("usage: nimbus-cli journal verify -dir DIR [-json]")
+		}
+		fs := flag.NewFlagSet("journal verify", flag.ContinueOnError)
+		dir := fs.String("dir", "", "journal directory (required)")
+		asJSON := fs.Bool("json", false, "emit the report as JSON")
+		if err := fs.Parse(args[2:]); err != nil {
+			return err
+		}
+		if *dir == "" {
+			return fmt.Errorf("journal verify: -dir is required")
+		}
+		rep, err := journal.Verify(*dir, nil)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				return err
+			}
+		} else if err := rep.Write(os.Stdout); err != nil {
+			return err
+		}
+		if rep.Err != "" {
+			return fmt.Errorf("journal verify: unrecoverable: %s", rep.Err)
+		}
+		return nil
+
 	case "stats":
 		stats, err := client.Stats(ctx)
 		if err != nil {
@@ -104,6 +140,6 @@ func run(addr string, args []string) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown command %q (want menu, curve, buy or stats)", cmd)
+		return fmt.Errorf("unknown command %q (want menu, curve, buy, stats, statement or journal)", cmd)
 	}
 }

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"fmt"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"nimbus/internal/dataset"
+	"nimbus/internal/journal"
 	"nimbus/internal/market"
 	"nimbus/internal/ml"
 	"nimbus/internal/pricing"
@@ -59,6 +63,55 @@ func TestCLICommands(t *testing.T) {
 	}
 	if err := run(addr, []string{"buy", "-offering", offering, "-loss", "squared", "-option", "quality", "-value", "3"}); err != nil {
 		t.Fatalf("buy: %v", err)
+	}
+}
+
+func TestCLIJournalVerify(t *testing.T) {
+	dir := t.TempDir()
+	j, err := journal.Open(dir, journal.Options{Sync: journal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy journal: verify succeeds, in both text and JSON form.
+	if err := run("http://unused", []string{"journal", "verify", "-dir", dir}); err != nil {
+		t.Fatalf("verify clean journal: %v", err)
+	}
+	if err := run("http://unused", []string{"journal", "verify", "-dir", dir, "-json"}); err != nil {
+		t.Fatalf("verify -json: %v", err)
+	}
+
+	// Corrupt a payload byte mid-stream: verify must exit non-zero.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	buf, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[9] ^= 0xff
+	if err := os.WriteFile(segs[0], buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("http://unused", []string{"journal", "verify", "-dir", dir}); err == nil {
+		t.Fatal("verify accepted a corrupt journal")
+	}
+
+	// Missing flags.
+	if err := run("http://unused", []string{"journal"}); err == nil {
+		t.Fatal("journal without subcommand accepted")
+	}
+	if err := run("http://unused", []string{"journal", "verify"}); err == nil {
+		t.Fatal("journal verify without -dir accepted")
 	}
 }
 

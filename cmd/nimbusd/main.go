@@ -3,6 +3,18 @@
 // each, and serves the marketplace API documented in internal/server.
 //
 //	nimbusd -addr :8080 -scale 0.001 -seed 42
+//
+// The sale ledger — the broker's only irreplaceable state — can be made
+// durable two ways:
+//
+//   - -journal-dir: a write-ahead journal (internal/journal). Every sale
+//     is appended and (depending on -journal-sync) fsynced before the
+//     buyer sees it, startup recovers snapshot + record tail, and
+//     graceful shutdown compacts the journal into a fresh snapshot.
+//     Survives kill -9.
+//   - -ledger: a whole-file JSON snapshot, restored at startup and
+//     written atomically on graceful shutdown only. Survives restarts,
+//     not crashes.
 package main
 
 import (
@@ -18,6 +30,7 @@ import (
 	"time"
 
 	"nimbus/internal/dataset"
+	"nimbus/internal/journal"
 	"nimbus/internal/market"
 	"nimbus/internal/ml"
 	"nimbus/internal/pricing"
@@ -25,25 +38,47 @@ import (
 	"nimbus/internal/telemetry"
 )
 
+// config collects nimbusd's knobs; see the flag declarations in main for
+// the semantics.
+type config struct {
+	addr       string
+	scale      float64
+	seed       int64
+	samples    int
+	gridN      int
+	rate       float64
+	commission float64
+
+	ledger string
+
+	journalDir      string
+	journalSync     string
+	journalSyncEvry time.Duration
+	journalSegBytes int64
+}
+
 func main() {
-	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		scale      = flag.Float64("scale", 1e-3, "Table 3 row-count scale (1.0 = paper size)")
-		seed       = flag.Int64("seed", 42, "random seed")
-		samples    = flag.Int("samples", 200, "Monte-Carlo models per NCP when building curves")
-		gridN      = flag.Int("grid", 50, "offered quality grid size")
-		ledger     = flag.String("ledger", "", "optional ledger file: restored at startup, saved on shutdown")
-		rate       = flag.Float64("rate", 50, "per-client request rate limit (requests/second; 0 disables)")
-		commission = flag.Float64("commission", 0.1, "broker's cut of each sale, in [0, 1)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.Float64Var(&cfg.scale, "scale", 1e-3, "Table 3 row-count scale (1.0 = paper size)")
+	flag.Int64Var(&cfg.seed, "seed", 42, "random seed")
+	flag.IntVar(&cfg.samples, "samples", 200, "Monte-Carlo models per NCP when building curves")
+	flag.IntVar(&cfg.gridN, "grid", 50, "offered quality grid size")
+	flag.StringVar(&cfg.ledger, "ledger", "", "optional ledger snapshot file: restored at startup, saved atomically on graceful shutdown")
+	flag.Float64Var(&cfg.rate, "rate", 50, "per-client request rate limit (requests/second; 0 disables)")
+	flag.Float64Var(&cfg.commission, "commission", 0.1, "broker's cut of each sale, in [0, 1)")
+	flag.StringVar(&cfg.journalDir, "journal-dir", "", "optional write-ahead journal directory: sales survive kill -9 (mutually exclusive with -ledger)")
+	flag.StringVar(&cfg.journalSync, "journal-sync", "interval", "journal fsync policy: always, interval or never")
+	flag.DurationVar(&cfg.journalSyncEvry, "journal-sync-every", journal.DefaultSyncEvery, "flush interval under -journal-sync=interval")
+	flag.Int64Var(&cfg.journalSegBytes, "journal-segment-bytes", journal.DefaultSegmentBytes, "journal segment rotation threshold")
 	flag.Parse()
-	if err := run(*addr, *scale, *seed, *samples, *gridN, *ledger, *rate, *commission); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "nimbusd:", err)
 		os.Exit(1)
 	}
 }
 
-// restoreLedger loads a previous ledger file if one exists.
+// restoreLedger loads a previous ledger snapshot file if one exists.
 func restoreLedger(broker *market.Broker, path string) error {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -62,22 +97,77 @@ func restoreLedger(broker *market.Broker, path string) error {
 	return nil
 }
 
-// saveLedger writes the ledger file atomically (write + rename).
+// saveLedger writes the ledger snapshot so a crash mid-save leaves either
+// the old file or the new one, never a torn mix: temp file, fsync,
+// rename, directory fsync.
 func saveLedger(broker *market.Broker, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	return journal.WriteFileAtomic(journal.OSFS{}, path, broker.SaveLedger)
+}
+
+// openJournal opens (and recovers) the write-ahead journal, replays the
+// recovered ledger into the broker, and switches the broker's sale path
+// onto it.
+func openJournal(broker *market.Broker, cfg config, reg *telemetry.Registry, logf func(format string, args ...any)) (*journal.Journal, error) {
+	policy, err := journal.ParseSyncPolicy(cfg.journalSync)
 	if err != nil {
-		return fmt.Errorf("creating ledger file: %w", err)
+		return nil, err
 	}
-	if err := broker.SaveLedger(f); err != nil {
-		//lint:ignore no-dropped-error best-effort cleanup; the write error above is what gets reported
-		f.Close()
-		return err
+	j, err := journal.Open(cfg.journalDir, journal.Options{
+		SegmentBytes: cfg.journalSegBytes,
+		Sync:         policy,
+		SyncEvery:    cfg.journalSyncEvry,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("closing ledger file: %w", err)
+	closeOnErr := func(err error) (*journal.Journal, error) {
+		//lint:ignore no-dropped-error best-effort cleanup; the recovery failure is what gets reported
+		j.Close()
+		return nil, err
 	}
-	return os.Rename(tmp, path)
+	if snap, ok, err := j.Snapshot(); err != nil {
+		return closeOnErr(err)
+	} else if ok {
+		err := broker.RestoreLedger(snap)
+		if cerr := snap.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return closeOnErr(fmt.Errorf("restoring journal snapshot: %w", err))
+		}
+	}
+	replayed := 0
+	if err := j.Replay(func(rec []byte) error {
+		p, err := market.UnmarshalSale(rec)
+		if err != nil {
+			return err
+		}
+		broker.ReplaySale(p)
+		replayed++
+		return nil
+	}); err != nil {
+		return closeOnErr(fmt.Errorf("replaying journal: %w", err))
+	}
+	logf("nimbusd: journal %s recovered: %d sales in ledger (%d replayed from tail), revenue %.2f",
+		cfg.journalDir, len(broker.Sales()), replayed, broker.TotalRevenue())
+	broker.SetJournal(j)
+	return j, nil
+}
+
+// closeJournal compacts the journal into a fresh snapshot (folding the
+// whole ledger, so the next startup replays nothing) and closes it. Call
+// only after the HTTP server has drained: Compact assumes no concurrent
+// sales.
+func closeJournal(broker *market.Broker, j *journal.Journal, logf func(format string, args ...any)) error {
+	if err := j.Compact(broker.SaveLedger); err != nil {
+		// Compaction is an optimization; the appended records are already
+		// durable. Flush and close so nothing in the tail is lost.
+		logf("nimbusd: journal compaction failed (sales remain in segments): %v", err)
+	} else {
+		logf("nimbusd: journal compacted: %d sales snapshotted", len(broker.Sales()))
+	}
+	return j.Close()
 }
 
 // buildBroker generates the Table 3 suite and lists one offering per
@@ -122,63 +212,91 @@ func buildBroker(scale float64, seed int64, samples, gridN int, logf func(format
 	return broker, nil
 }
 
-func run(addr string, scale float64, seed int64, samples, gridN int, ledger string, rate, commission float64) error {
-	broker, err := buildBroker(scale, seed, samples, gridN, log.Printf)
+func run(cfg config) error {
+	if cfg.ledger != "" && cfg.journalDir != "" {
+		return errors.New("-ledger and -journal-dir are mutually exclusive (the journal subsumes the snapshot file)")
+	}
+	broker, err := buildBroker(cfg.scale, cfg.seed, cfg.samples, cfg.gridN, log.Printf)
 	if err != nil {
 		return err
 	}
-	if err := broker.SetCommission(commission); err != nil {
+	if err := broker.SetCommission(cfg.commission); err != nil {
 		return err
 	}
-	if ledger != "" {
-		if err := restoreLedger(broker, ledger); err != nil {
-			return err
-		}
-	}
 	// One registry covers the whole serving stack: HTTP middleware, rate
-	// limiter, broker sale path, and Go runtime gauges. Scrape it at
-	// GET /metrics (Prometheus) or GET /api/v1/metrics (JSON).
+	// limiter, broker sale path, journal, and Go runtime gauges. Scrape
+	// it at GET /metrics (Prometheus) or GET /api/v1/metrics (JSON).
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterRuntimeMetrics(reg)
 	broker.SetTelemetry(reg)
+	if cfg.ledger != "" {
+		if err := restoreLedger(broker, cfg.ledger); err != nil {
+			return err
+		}
+	}
+	var wal *journal.Journal
+	if cfg.journalDir != "" {
+		if wal, err = openJournal(broker, cfg, reg, log.Printf); err != nil {
+			return err
+		}
+	}
 	var handler http.Handler = server.New(broker, server.WithTelemetry(reg))
-	if rate > 0 {
-		rl := server.NewRateLimiter(rate, int(2*rate))
+	if cfg.rate > 0 {
+		rl := server.NewRateLimiter(cfg.rate, int(2*cfg.rate))
 		rl.SetTelemetry(reg)
 		handler = rl.Wrap(handler)
 	}
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           server.WithMiddleware(handler, log.Printf, reg),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, then persist the
-	// books.
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting requests, drain
+	// in-flight sales, then persist the books (journal compaction or the
+	// atomic snapshot) before exiting.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("nimbusd: marketplace open on %s (%d offerings)", addr, len(broker.Menu()))
+		log.Printf("nimbusd: marketplace open on %s (%d offerings)", cfg.addr, len(broker.Menu()))
 		errc <- srv.ListenAndServe()
 	}()
+	serveErr := error(nil)
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			return err
+			serveErr = err
 		}
 	case <-ctx.Done():
+		log.Printf("nimbusd: signal received, draining...")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Printf("nimbusd: shutdown: %v", err)
 		}
 	}
-	if ledger != "" {
-		if err := saveLedger(broker, ledger); err != nil {
-			return err
+	// Persist the books even when the listener failed: sales may have
+	// completed before the failure.
+	if wal != nil {
+		if err := closeJournal(broker, wal, log.Printf); err != nil {
+			if serveErr == nil {
+				serveErr = err
+			} else {
+				log.Printf("nimbusd: closing journal: %v", err)
+			}
 		}
-		log.Printf("nimbusd: saved %d sales to %s", len(broker.Sales()), ledger)
 	}
-	return nil
+	if cfg.ledger != "" {
+		if err := saveLedger(broker, cfg.ledger); err != nil {
+			if serveErr == nil {
+				serveErr = err
+			} else {
+				log.Printf("nimbusd: saving ledger: %v", err)
+			}
+		} else {
+			log.Printf("nimbusd: saved %d sales to %s", len(broker.Sales()), cfg.ledger)
+		}
+	}
+	return serveErr
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"nimbus/internal/market"
 )
@@ -86,6 +88,88 @@ func offeringLoss(t *testing.T, broker *market.Broker, name string) string {
 		t.Fatal(err)
 	}
 	return o.LossNames()[0]
+}
+
+func TestRunRejectsLedgerPlusJournal(t *testing.T) {
+	err := run(config{ledger: "ledger.json", journalDir: "journal"})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("want mutual-exclusion error, got %v", err)
+	}
+}
+
+// TestJournalSurvivesRestarts drives the lifecycle nimbusd wires up:
+// sales are journaled, a graceful shutdown compacts them into a snapshot,
+// a crash (no compaction) leaves them in the record tail, and either way
+// the next startup recovers the full ledger.
+func TestJournalSurvivesRestarts(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		journalDir:      dir,
+		journalSync:     "always",
+		journalSyncEvry: time.Millisecond,
+		journalSegBytes: 1024,
+	}
+	logf := func(string, ...any) {}
+	newBroker := func() *market.Broker {
+		broker, err := buildBroker(1e-9, 3, 10, 4, logf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return broker
+	}
+
+	// Generation 1: two sales, graceful shutdown (compacts).
+	b1 := newBroker()
+	j1, err := openJournal(b1, cfg, nil, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := b1.Menu()[0]
+	loss := offeringLoss(t, b1, name)
+	for i := 0; i < 2; i++ {
+		if _, err := b1.BuyAtQuality(name, loss, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := closeJournal(b1, j1, logf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 2: recovers from the snapshot, sells once more, then
+	// "crashes" — the journal is abandoned without compaction or flush
+	// beyond the per-append fsync.
+	b2 := newBroker()
+	j2, err := openJournal(b2, cfg, nil, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b2.Sales()); got != 2 {
+		t.Fatalf("generation 2 recovered %d sales, want 2", got)
+	}
+	if _, err := b2.BuyAtQuality(name, loss, 3); err != nil {
+		t.Fatal(err)
+	}
+	wantRevenue := b2.TotalRevenue()
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 3: snapshot (2 sales) + tail replay (1 sale).
+	b3 := newBroker()
+	j3, err := openJournal(b3, cfg, nil, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if got := len(b3.Sales()); got != 3 {
+		t.Fatalf("generation 3 recovered %d sales, want 3", got)
+	}
+	if b3.TotalRevenue() != wantRevenue {
+		t.Fatalf("recovered revenue %v, want %v", b3.TotalRevenue(), wantRevenue)
+	}
+	if !reflect.DeepEqual(b3.Sales(), b2.Sales()) {
+		t.Fatal("recovered ledger differs from the pre-crash ledger")
+	}
 }
 
 func TestBuildBrokerPropagatesErrors(t *testing.T) {

@@ -1,0 +1,416 @@
+// Package journal is a stdlib-only append-only write-ahead journal for
+// the broker's sale ledger — the marketplace's only irreplaceable state.
+// Datasets and trained models are relisted from source on restart; the
+// record of who bought what at which price is not reproducible, so it
+// must survive kill -9.
+//
+// On disk a journal directory holds at most one snapshot plus a run of
+// segment files:
+//
+//	snap-%016x.snap   full state at a point in time, written atomically
+//	seg-%016x.wal     CRC32C-framed records appended since then
+//
+// Records are length-prefixed, checksummed frames (see frame.go).
+// Segments rotate at Options.SegmentBytes; the snapshot's sequence number
+// N means "this snapshot folds in every record of every segment with
+// sequence < N", so recovery loads the newest snapshot and replays the
+// segments at or above its sequence, in order.
+//
+// Recovery tolerates exactly the damage a crash can cause: a torn final
+// write in the final segment is truncated away, while a bad frame with
+// valid data after it — damage to records that were once durable — makes
+// recovery refuse rather than silently drop sales (ErrCorrupt).
+//
+// Durability is configurable per deployment via SyncPolicy: fsync every
+// append (no completed sale is ever lost), fsync on an interval (bounded
+// loss window, near-zero fsync amplification), or leave flushing to the
+// OS (benchmarks).
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"nimbus/internal/telemetry"
+)
+
+// SyncPolicy selects when appends are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: a sale acknowledged to the
+	// buyer is on stable storage before the response leaves the broker.
+	// Costs one disk flush per sale.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval marks appends dirty and fsyncs at most once per
+	// Options.SyncEvery (plus at rotation, compaction and Close). A crash
+	// loses at most the final window of sales; the disk sees a bounded
+	// flush rate regardless of traffic.
+	SyncInterval
+	// SyncNever leaves flushing entirely to the OS page cache. Only the
+	// process dying is survivable, not the machine; meant for benchmarks
+	// and tests.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the CLI spellings onto a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("journal: unknown sync policy %q (want always, interval or never)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	default:
+		return "never"
+	}
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultSegmentBytes = 4 << 20
+	DefaultSyncEvery    = 100 * time.Millisecond
+)
+
+// Options configures a journal. The zero value is usable: OS filesystem,
+// 4 MiB segments, fsync on every append.
+type Options struct {
+	// SegmentBytes is the rotation threshold: a segment that reaches this
+	// many bytes is sealed and a fresh one started.
+	SegmentBytes int64
+	// Sync is the fsync policy for appends.
+	Sync SyncPolicy
+	// SyncEvery is the flush interval under SyncInterval.
+	SyncEvery time.Duration
+	// FS overrides the filesystem, for fault injection. Nil means OSFS.
+	FS FS
+	// Telemetry, when non-nil, receives the journal's metrics:
+	// append latency/count/bytes, fsyncs, rotations, compactions, and
+	// the recovery counters (replayable records, truncated tail bytes).
+	Telemetry *telemetry.Registry
+}
+
+// ErrClosed is returned by operations on a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+// ErrCorrupt marks unrecoverable journal damage: a bad frame in the
+// middle of the record stream (not a torn tail), or a missing segment.
+// Wrapped errors carry the segment and offset.
+var ErrCorrupt = errors.New("journal: corrupt")
+
+// Journal is an open write-ahead journal. It is safe for concurrent use;
+// appends are serialized, so record order on disk is the order Append
+// calls returned.
+type Journal struct {
+	dir  string
+	opts Options
+	fs   FS
+
+	mu       sync.Mutex
+	tail     File
+	tailSeq  uint64
+	tailSize int64
+	dirty    bool  // bytes written since the last fsync
+	failed   error // sticky: a failed write/sync poisons the journal until reopen
+	closed   bool
+	buf      []byte // frame scratch, reused across appends
+
+	// Recovery state captured at Open, consumed by Snapshot/Replay.
+	replay   []segmentInfo
+	snapSeq  uint64
+	snapPath string
+
+	done chan struct{} // stops the interval sync loop
+	wg   sync.WaitGroup
+
+	tel journalTelemetry
+}
+
+// segmentInfo is one segment as found at Open: its valid byte length is
+// pinned so Replay sees exactly the recovered prefix even if appends have
+// extended the file since.
+type segmentInfo struct {
+	seq    uint64
+	path   string
+	size   int64
+	frames int
+}
+
+// journalTelemetry bundles the metric handles; all are nil-safe.
+type journalTelemetry struct {
+	appendLatency  *telemetry.Histogram
+	appends        *telemetry.Counter
+	appendBytes    *telemetry.Counter
+	fsyncs         *telemetry.Counter
+	rotations      *telemetry.Counter
+	compactions    *telemetry.Counter
+	recoveredRecs  *telemetry.Counter
+	truncatedBytes *telemetry.Counter
+	segments       *telemetry.Gauge
+}
+
+func (j *Journal) initTelemetry(reg *telemetry.Registry) {
+	reg.Help("nimbus_journal_append_seconds", "Latency of one journal append, including fsync under the always policy.")
+	reg.Help("nimbus_journal_appends_total", "Records appended to the journal.")
+	reg.Help("nimbus_journal_append_bytes_total", "Payload bytes appended to the journal.")
+	reg.Help("nimbus_journal_fsyncs_total", "fsync calls issued by the journal.")
+	reg.Help("nimbus_journal_rotations_total", "Segment rotations.")
+	reg.Help("nimbus_journal_compactions_total", "Snapshot compactions.")
+	reg.Help("nimbus_journal_recovered_records_total", "Records replayed from the journal at startup.")
+	reg.Help("nimbus_journal_recovered_truncated_bytes_total", "Torn-tail bytes truncated during recovery.")
+	reg.Help("nimbus_journal_segments", "Segment files currently on disk.")
+	j.tel = journalTelemetry{
+		appendLatency:  reg.Histogram("nimbus_journal_append_seconds", nil),
+		appends:        reg.Counter("nimbus_journal_appends_total"),
+		appendBytes:    reg.Counter("nimbus_journal_append_bytes_total"),
+		fsyncs:         reg.Counter("nimbus_journal_fsyncs_total"),
+		rotations:      reg.Counter("nimbus_journal_rotations_total"),
+		compactions:    reg.Counter("nimbus_journal_compactions_total"),
+		recoveredRecs:  reg.Counter("nimbus_journal_recovered_records_total"),
+		truncatedBytes: reg.Counter("nimbus_journal_recovered_truncated_bytes_total"),
+		segments:       reg.Gauge("nimbus_journal_segments"),
+	}
+}
+
+// Open recovers the journal in dir (creating it if needed) and readies it
+// for appends: it locates the newest snapshot, validates the segment tail
+// after it, truncates a torn final write, and opens the last segment for
+// appending. Damage that cannot be attributed to a torn tail returns
+// ErrCorrupt. After Open, read the recovered state via Snapshot and
+// Replay, then Append away.
+func Open(dir string, opts Options) (*Journal, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: creating %s: %w", dir, err)
+	}
+	j := &Journal{dir: dir, opts: opts, fs: opts.FS}
+	j.initTelemetry(opts.Telemetry)
+	if err := j.recover(); err != nil {
+		return nil, err
+	}
+	if err := j.openTail(); err != nil {
+		return nil, err
+	}
+	j.tel.segments.Set(float64(j.segmentsOnDisk()))
+	if opts.Sync == SyncInterval {
+		j.done = make(chan struct{})
+		j.wg.Add(1)
+		go j.syncLoop()
+	}
+	return j, nil
+}
+
+// segmentsOnDisk counts the recovered segments plus the tail, without
+// double-counting when the tail is a recovered segment.
+func (j *Journal) segmentsOnDisk() int {
+	n := len(j.replay)
+	if n == 0 || j.replay[n-1].seq != j.tailSeq {
+		n++
+	}
+	return n
+}
+
+// Append writes one record, making it durable according to the sync
+// policy, and returns once the record is on the tail segment. Appends are
+// atomic with respect to recovery: a crash mid-append loses at most this
+// record, never an earlier one.
+func (j *Journal) Append(rec []byte) error {
+	if len(rec) == 0 {
+		return errors.New("journal: empty record")
+	}
+	if int64(len(rec)) > MaxRecordSize {
+		return fmt.Errorf("journal: record of %d bytes exceeds MaxRecordSize", len(rec))
+	}
+	start := time.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.failed != nil {
+		return fmt.Errorf("journal: poisoned by earlier failure: %w", j.failed)
+	}
+	j.buf = appendFrame(j.buf[:0], rec)
+	if _, err := j.tail.Write(j.buf); err != nil {
+		// The write may have landed partially, leaving a torn frame in
+		// the middle of a live file. Try to cut it back off; if that also
+		// fails, poison the journal — appending after a torn frame would
+		// manufacture exactly the mid-stream corruption recovery refuses.
+		if terr := j.tail.Truncate(j.tailSize); terr != nil {
+			j.failed = fmt.Errorf("append failed (%v) and truncate-back failed (%v)", err, terr)
+		}
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.tailSize += int64(len(j.buf))
+	j.dirty = true
+	if j.opts.Sync == SyncAlways {
+		if err := j.tail.Sync(); err != nil {
+			j.failed = fmt.Errorf("fsync failed: %w", err)
+			return fmt.Errorf("journal: append fsync: %w", err)
+		}
+		j.dirty = false
+		j.tel.fsyncs.Inc()
+	}
+	if j.tailSize >= j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			// The record itself is safely in the sealed segment; only the
+			// rotation failed. Poison so the operator finds out.
+			j.failed = err
+			return fmt.Errorf("journal: rotating segment: %w", err)
+		}
+	}
+	j.tel.appends.Inc()
+	j.tel.appendBytes.Add(uint64(len(rec)))
+	j.tel.appendLatency.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// rotateLocked seals the tail segment (fsync + close) and starts the next
+// one. Caller holds j.mu.
+func (j *Journal) rotateLocked() error {
+	if err := j.tail.Sync(); err != nil {
+		return fmt.Errorf("sealing segment %d: %w", j.tailSeq, err)
+	}
+	j.tel.fsyncs.Inc()
+	j.dirty = false
+	if err := j.tail.Close(); err != nil {
+		return fmt.Errorf("closing segment %d: %w", j.tailSeq, err)
+	}
+	f, err := j.createSegment(j.tailSeq + 1)
+	if err != nil {
+		return err
+	}
+	j.tail = f
+	j.tailSeq++
+	j.tailSize = 0
+	j.tel.rotations.Inc()
+	j.tel.segments.Add(1)
+	return nil
+}
+
+// createSegment creates the segment file for seq and makes its directory
+// entry durable.
+func (j *Journal) createSegment(seq uint64) (File, error) {
+	path := filepath.Join(j.dir, segName(seq))
+	f, err := j.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("creating segment %d: %w", seq, err)
+	}
+	if err := j.fs.SyncDir(j.dir); err != nil {
+		//lint:ignore no-dropped-error best-effort cleanup; the directory-sync failure is what gets reported
+		f.Close()
+		return nil, fmt.Errorf("syncing journal directory: %w", err)
+	}
+	return f, nil
+}
+
+// Sync forces dirty appends to stable storage regardless of policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if !j.dirty {
+		return nil
+	}
+	if err := j.tail.Sync(); err != nil {
+		j.failed = fmt.Errorf("fsync failed: %w", err)
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.dirty = false
+	j.tel.fsyncs.Inc()
+	return nil
+}
+
+// syncLoop drives the interval policy: flush dirty appends once per tick.
+func (j *Journal) syncLoop() {
+	defer j.wg.Done()
+	t := time.NewTicker(j.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.done:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			if !j.closed {
+				// syncLocked records a failure in j.failed, which the
+				// next Append reports; the loop itself has no caller to
+				// tell.
+				if err := j.syncLocked(); err != nil {
+					j.mu.Unlock()
+					return
+				}
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes and closes the tail segment. Further operations return
+// ErrClosed. Close is idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	done := j.done
+	j.mu.Unlock()
+	if done != nil {
+		close(done)
+		j.wg.Wait()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var err error
+	if j.dirty && j.failed == nil {
+		if serr := j.tail.Sync(); serr != nil {
+			err = fmt.Errorf("journal: closing flush: %w", serr)
+		} else {
+			j.dirty = false
+			j.tel.fsyncs.Inc()
+		}
+	}
+	if cerr := j.tail.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("journal: closing segment: %w", cerr)
+	}
+	return err
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// segName and snapName are the on-disk naming scheme; sequence numbers
+// are zero-padded hex so lexical order is numeric order.
+func segName(seq uint64) string  { return fmt.Sprintf("seg-%016x.wal", seq) }
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%016x.snap", seq) }

@@ -25,10 +25,48 @@ type Broker struct {
 	sales      []Purchase
 	commission float64
 
+	// jmu serializes the journal-append + ledger-append pair, so the
+	// on-disk record order is exactly the ledger order. It is taken
+	// without b.mu held (and never the other way around).
+	jmu     sync.Mutex
+	journal SaleJournal
+
 	// tel is the broker's sale-path instrumentation; brokerTelemetry's
 	// handles are nil-safe, so an uninstrumented broker pays only nil
 	// checks on the hot path.
 	tel brokerTelemetry
+}
+
+// SaleJournal is the broker's durability hook: an append-only log that
+// must acknowledge each encoded Purchase before the sale becomes visible
+// in the ledger. internal/journal's *Journal satisfies it directly.
+type SaleJournal interface {
+	Append(rec []byte) error
+}
+
+// ErrJournal wraps a failure to make a sale durable. The sale is refused:
+// a purchase the crash-recovery story cannot replay must not be handed to
+// the buyer.
+var ErrJournal = errors.New("market: sale journal append failed")
+
+// SetJournal directs every subsequent purchase through j (write-ahead:
+// append first, then ledger). A nil j turns journaling back off. Set it
+// at startup, after replaying recovered sales.
+func (b *Broker) SetJournal(j SaleJournal) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.journal = j
+}
+
+// ReplaySale appends a recovered purchase to the ledger without drawing
+// noise, charging, or re-journaling: it is the restart-time inverse of
+// finalize, fed from the journal. Per-offering sale counters are not
+// re-incremented — telemetry counts this process's sales, the ledger
+// counts all of them.
+func (b *Broker) ReplaySale(p Purchase) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sales = append(b.sales, p)
 }
 
 // brokerTelemetry bundles the broker's metric handles so the hot path
@@ -81,6 +119,8 @@ func (b *Broker) recordReject(err error) {
 		reason = "unattainable"
 	case errors.Is(err, pricing.ErrOverBudget):
 		reason = "over-budget"
+	case errors.Is(err, ErrJournal):
+		reason = "journal"
 	}
 	//lint:ignore telemetry-label-literal reason is mapped onto the fixed four-value set above before it reaches the registry
 	b.tel.reg.Counter("nimbus_purchase_rejects_total", "reason", reason).Inc()
@@ -217,8 +257,10 @@ func (b *Broker) buy(offering, loss string, pick func(*pricing.PriceErrorCurve) 
 	return b.finalize(o, loss, pt)
 }
 
-// finalize samples the noisy instance with a fresh noise stream, records
-// the sale and returns the purchase.
+// finalize samples the noisy instance with a fresh noise stream, makes
+// the sale durable (when a journal is set, the encoded purchase is
+// appended and acknowledged before it becomes visible), records it in
+// the ledger and returns the purchase.
 func (b *Broker) finalize(o *Offering, loss string, pt pricing.PriceErrorPoint) (*Purchase, error) {
 	if pt.X <= 0 {
 		err := fmt.Errorf("market: purchase at non-positive quality %v", pt.X)
@@ -229,8 +271,10 @@ func (b *Broker) finalize(o *Offering, loss string, pt pricing.PriceErrorPoint) 
 	drawStart := time.Now()
 	weights := o.Mechanism.Perturb(o.Optimal, delta, b.src.Split())
 	b.tel.noiseDraw.Observe(time.Since(drawStart).Seconds())
-	b.mu.Lock()
+	b.mu.RLock()
 	fee := b.commission * pt.Price
+	j := b.journal
+	b.mu.RUnlock()
 	p := Purchase{
 		Offering:       o.Name,
 		Loss:           loss,
@@ -242,8 +286,29 @@ func (b *Broker) finalize(o *Offering, loss string, pt pricing.PriceErrorPoint) 
 		ExpectedError:  pt.Error,
 		Weights:        weights,
 	}
-	b.sales = append(b.sales, p)
-	b.mu.Unlock()
+	if j != nil {
+		// Write-ahead under jmu: journal order is ledger order, and a
+		// sale the journal did not accept never becomes visible.
+		b.jmu.Lock()
+		rec, err := MarshalSale(p)
+		if err == nil {
+			err = j.Append(rec)
+		}
+		if err != nil {
+			b.jmu.Unlock()
+			err = fmt.Errorf("%w: %v", ErrJournal, err)
+			b.recordReject(err)
+			return nil, err
+		}
+		b.mu.Lock()
+		b.sales = append(b.sales, p)
+		b.mu.Unlock()
+		b.jmu.Unlock()
+	} else {
+		b.mu.Lock()
+		b.sales = append(b.sales, p)
+		b.mu.Unlock()
+	}
 	o.sales.Inc()
 	b.tel.revenue.Add(pt.Price)
 	b.tel.fees.Add(fee)

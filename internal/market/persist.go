@@ -1,6 +1,7 @@
 package market
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -57,6 +58,43 @@ func (b *Broker) RestoreLedger(r io.Reader) error {
 	}
 	b.sales = append([]Purchase(nil), snap.Sales...)
 	return nil
+}
+
+// saleRecord is the envelope for one journaled purchase. The version
+// field guards the record format the same way LedgerSnapshot.Version
+// guards the snapshot format.
+type saleRecord struct {
+	Version  int      `json:"v"`
+	Purchase Purchase `json:"purchase"`
+}
+
+// saleRecordVersion is the current journal record format.
+const saleRecordVersion = 1
+
+// MarshalSale encodes one purchase as a journal record.
+func MarshalSale(p Purchase) ([]byte, error) {
+	rec, err := json.Marshal(saleRecord{Version: saleRecordVersion, Purchase: p})
+	if err != nil {
+		return nil, fmt.Errorf("market: encoding sale record: %w", err)
+	}
+	return rec, nil
+}
+
+// UnmarshalSale decodes a journal record produced by MarshalSale. It
+// refuses unknown format versions and unknown fields, mirroring
+// RestoreLedger: replaying a record we do not fully understand could
+// misstate the books.
+func UnmarshalSale(rec []byte) (Purchase, error) {
+	var sr saleRecord
+	dec := json.NewDecoder(bytes.NewReader(rec))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sr); err != nil {
+		return Purchase{}, fmt.Errorf("market: decoding sale record: %w", err)
+	}
+	if sr.Version != saleRecordVersion {
+		return Purchase{}, fmt.Errorf("market: sale record version %d, want %d", sr.Version, saleRecordVersion)
+	}
+	return sr.Purchase, nil
 }
 
 // OfferingSnapshot is the audit view of one listing: everything a

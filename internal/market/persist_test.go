@@ -42,6 +42,21 @@ func TestRestoreLedgerRejects(t *testing.T) {
 	if err := b.RestoreLedger(strings.NewReader("{nope")); err == nil {
 		t.Fatal("bad JSON accepted")
 	}
+	// Empty input (zero-byte snapshot file).
+	if err := b.RestoreLedger(strings.NewReader("")); err == nil {
+		t.Fatal("empty snapshot accepted")
+	}
+	// Truncated JSON: a syntactically valid prefix of a real snapshot,
+	// as left by a crash mid-write of a non-atomic save.
+	whole := `{"version": 1, "sales": [{"offering": "CASP/linear-regression", "loss": "squared", "x": 2, "ncp": 0.5, "price": 10, "broker_fee": 1, "seller_proceeds": 9, "expected_error": 0.1, "weights": [1, 2]}]}`
+	for _, cut := range []int{len(whole) / 4, len(whole) / 2, len(whole) - 1} {
+		if err := b.RestoreLedger(strings.NewReader(whole[:cut])); err == nil {
+			t.Fatalf("truncated snapshot (%d of %d bytes) accepted", cut, len(whole))
+		}
+	}
+	if len(b.Sales()) != 0 {
+		t.Fatal("failed restores must leave the ledger empty")
+	}
 	// Wrong version.
 	if err := b.RestoreLedger(strings.NewReader(`{"version": 99, "sales": []}`)); err == nil {
 		t.Fatal("wrong version accepted")
