@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"nimbus/internal/analysis"
+)
+
+// A baseline freezes the currently-known findings so that adopting a new
+// rule (or tightening an old one) over a large tree does not force fixing
+// every historical site at once: known findings are suppressed, only NEW
+// findings fail the build. Entries key on file+rule+message but not line,
+// so unrelated edits that shift code around do not invalidate the
+// baseline; a count per key tolerates repeated identical findings in one
+// file while still catching a genuine new occurrence of the same shape.
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+type baselineEntry struct {
+	File    string `json:"file"` // module-root-relative, forward slashes
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// baselineVersion guards the on-disk format; bump it on incompatible
+// changes so stale files fail loudly instead of silently matching nothing.
+const baselineVersion = 1
+
+func baselineKey(file, rule, message string) string {
+	return file + "\x00" + rule + "\x00" + message
+}
+
+// writeBaseline records the given findings, keyed root-relative via rel,
+// as a deterministic (sorted) JSON document.
+func writeBaseline(path string, diags []analysis.Diagnostic, rel func(string) string) error {
+	counts := make(map[baselineEntry]int)
+	for _, d := range diags {
+		counts[baselineEntry{File: rel(d.File), Rule: d.Rule, Message: d.Message}]++
+	}
+	bf := baselineFile{Version: baselineVersion}
+	for e, n := range counts {
+		e.Count = n
+		bf.Findings = append(bf.Findings, e)
+	}
+	sort.Slice(bf.Findings, func(i, j int) bool {
+		a, b := bf.Findings[i], bf.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// loadBaseline returns the suppression budget per finding key.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if bf.Version != baselineVersion {
+		return nil, fmt.Errorf("%s: baseline version %d, this build reads version %d — regenerate with -baseline-write", path, bf.Version, baselineVersion)
+	}
+	known := make(map[string]int, len(bf.Findings))
+	for _, e := range bf.Findings {
+		known[baselineKey(e.File, e.Rule, e.Message)] += e.Count
+	}
+	return known, nil
+}
+
+// applyBaseline splits findings into those the baseline already knows
+// (suppressed, counted) and those that are new and must still fail.
+func applyBaseline(diags []analysis.Diagnostic, known map[string]int, rel func(string) string) (fresh []analysis.Diagnostic, suppressed int) {
+	for _, d := range diags {
+		k := baselineKey(rel(d.File), d.Rule, d.Message)
+		if known[k] > 0 {
+			known[k]--
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, suppressed
+}

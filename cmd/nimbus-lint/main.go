@@ -8,18 +8,21 @@
 //
 // Usage:
 //
-//	nimbus-lint [-json] [-list] [pattern ...]
+//	nimbus-lint [-json | -sarif] [-baseline file [-baseline-write]] [-list] [pattern ...]
 //
 // Patterns are go-tool style: a directory, or a directory followed by /...
 // for the whole subtree; the default is ./... . Findings print one per line
-// as file:line:col: rule: message (or as a JSON array with -json) and any
-// finding makes the exit status 1; a clean tree exits 0 and load or usage
-// failures exit 2. Individual findings are silenced at the offending line
-// with a justified directive:
+// as file:line:col: rule: message (as a JSON array with -json, or a SARIF
+// 2.1.0 log with -sarif) and any finding makes the exit status 1; a clean
+// tree exits 0 and load or usage failures exit 2. Individual findings are
+// silenced at the offending line with a justified directive:
 //
 //	//lint:ignore <rule>[,<rule>...] <reason>
 //
-// -list prints the rule set with the invariant each rule protects.
+// -baseline suppresses findings recorded in the named file so that only
+// new findings fail; -baseline-write (re)generates that file from the
+// current findings. -list prints the rule set with the invariant each rule
+// protects.
 package main
 
 import (
@@ -42,12 +45,23 @@ func run(stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("nimbus-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in this `file`; only new findings fail")
+	baselineWrite := fs.Bool("baseline-write", false, "rewrite the -baseline file from the current findings and exit 0")
 	list := fs.Bool("list", false, "list the rules and the invariants they protect")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: nimbus-lint [-json] [-list] [pattern ...]")
+		fmt.Fprintln(stderr, "usage: nimbus-lint [-json | -sarif] [-baseline file [-baseline-write]] [-list] [pattern ...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "nimbus-lint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if *baselineWrite && *baselinePath == "" {
+		fmt.Fprintln(stderr, "nimbus-lint: -baseline-write requires -baseline")
 		return 2
 	}
 	cwd, err := os.Getwd()
@@ -86,6 +100,46 @@ func run(stdout, stderr io.Writer, args []string) int {
 		}
 	}
 	diags := analysis.Run(pkgs, rules)
+	// Baseline keys and SARIF URIs are module-root-relative so they stay
+	// stable no matter which directory the tool runs from; the human and
+	// -json outputs relativize to the working directory instead.
+	toRoot := func(file string) string {
+		if rel, err := filepath.Rel(root, file); err == nil {
+			return filepath.ToSlash(rel)
+		}
+		return filepath.ToSlash(file)
+	}
+	if *baselineWrite {
+		if err := writeBaseline(*baselinePath, diags, toRoot); err != nil {
+			fmt.Fprintln(stderr, "nimbus-lint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "nimbus-lint: wrote %d finding(s) to %s\n", len(diags), *baselinePath)
+		return 0
+	}
+	if *baselinePath != "" {
+		known, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "nimbus-lint:", err)
+			return 2
+		}
+		var suppressed int
+		diags, suppressed = applyBaseline(diags, known, toRoot)
+		if suppressed > 0 {
+			fmt.Fprintf(stderr, "nimbus-lint: %d baseline finding(s) suppressed\n", suppressed)
+		}
+	}
+	if *sarifOut {
+		if err := writeSARIF(stdout, rules, diags, toRoot); err != nil {
+			fmt.Fprintln(stderr, "nimbus-lint:", err)
+			return 2
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stderr, "nimbus-lint: %d finding(s)\n", len(diags))
+			return 1
+		}
+		return 0
+	}
 	for i := range diags {
 		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil {
 			diags[i].File = rel

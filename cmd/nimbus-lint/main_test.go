@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -102,5 +104,149 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 	if code, _, stderr := runLint(t, "./no/such/dir"); code != 2 {
 		t.Errorf("bad pattern: exit = %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if code, _, _ := runLint(t, "-json", "-sarif", goldenNakedRand); code != 2 {
+		t.Errorf("-json with -sarif: exit = %d, want 2", code)
+	}
+	if code, _, _ := runLint(t, "-baseline-write", goldenNakedRand); code != 2 {
+		t.Errorf("-baseline-write without -baseline: exit = %d, want 2", code)
+	}
+}
+
+func TestBaselineSuppressesKnownFindings(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "lint-baseline.json")
+	// Freeze the golden package's one finding, then re-lint against the
+	// baseline: the known finding no longer fails the run.
+	code, _, stderr := runLint(t, "-baseline", base, "-baseline-write", goldenNakedRand)
+	if code != 0 {
+		t.Fatalf("baseline-write exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	code, stdout, stderr := runLint(t, "-baseline", base, goldenNakedRand)
+	if code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0; stdout: %s stderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("baselined run still printed findings:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 baseline finding(s) suppressed") {
+		t.Errorf("stderr missing suppression count: %s", stderr)
+	}
+}
+
+func TestBaselineStillFailsOnNewFindings(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "lint-baseline.json")
+	// An empty baseline (written from a clean package) suppresses nothing,
+	// so the golden finding is "new" and the run fails.
+	if code, _, stderr := runLint(t, "-baseline", base, "-baseline-write", "../../internal/rng"); code != 0 {
+		t.Fatalf("baseline-write exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	code, stdout, _ := runLint(t, "-baseline", base, goldenNakedRand)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "no-naked-rand") {
+		t.Errorf("new finding missing from output:\n%s", stdout)
+	}
+}
+
+func TestBaselineRejectsUnknownVersion(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "lint-baseline.json")
+	if err := os.WriteFile(base, []byte(`{"version": 99, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runLint(t, "-baseline", base, goldenNakedRand)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "baseline version 99") {
+		t.Errorf("stderr missing version complaint: %s", stderr)
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	code, stdout, _ := runLint(t, "-sarif", goldenNakedRand)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("output is not SARIF JSON: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "nimbus-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"no-naked-rand", "mutex-discipline", "lock-order", "goroutine-leak", "unlock-path"} {
+		if !ruleIDs[want] {
+			t.Errorf("driver rules missing %s", want)
+		}
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("got %d results, want 1: %+v", len(run.Results), run.Results)
+	}
+	res := run.Results[0]
+	if res.RuleID != "no-naked-rand" {
+		t.Errorf("ruleId = %q", res.RuleID)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.Region.StartLine != 7 {
+		t.Errorf("startLine = %d, want 7", loc.Region.StartLine)
+	}
+	if want := "internal/analysis/testdata/src/nakedrand/nakedrand.go"; loc.ArtifactLocation.URI != want {
+		t.Errorf("uri = %q, want %q (module-root-relative)", loc.ArtifactLocation.URI, want)
+	}
+}
+
+func TestSARIFCleanTreeExitsZero(t *testing.T) {
+	code, stdout, _ := runLint(t, "-sarif", "../../internal/rng")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	var log struct {
+		Runs []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("clean SARIF is not JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Results == nil || len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean run should emit one run with an empty (non-null) results array:\n%s", stdout)
 	}
 }

@@ -124,9 +124,41 @@ func TestTelemetryLabelGolden(t *testing.T) {
 	checkGolden(t, "telemetrylabels", []Rule{TelemetryLabel{TelemetryPath: "nimbus/internal/telemetry"}})
 }
 
+func TestMutexDisciplineGolden(t *testing.T) {
+	checkGolden(t, "mutexguard", []Rule{MutexDiscipline{}})
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	checkGolden(t, "lockorder", []Rule{LockOrder{}})
+}
+
+func TestGoroutineLeakGolden(t *testing.T) {
+	checkGolden(t, "goroleak", []Rule{GoroutineLeak{}})
+}
+
+func TestUnlockPathGolden(t *testing.T) {
+	checkGolden(t, "unlockpath", []Rule{UnlockPath{}})
+}
+
 func TestSuppressionGolden(t *testing.T) {
+	// Both rules run so the multi-rule //lint:ignore a,b form is exercised
+	// end to end through Run(): one directive must silence two different
+	// rules' findings on the covered line, while a directive naming other
+	// rules leaves the float-eq finding alone.
 	pkg := loadGolden(t, "suppress")
-	checkGolden(t, "suppress", []Rule{WallClock{Scope: []string{pkg.Path}}})
+	scope := []string{pkg.Path}
+	checkGolden(t, "suppress", []Rule{WallClock{Scope: scope}, FloatEq{Scope: scope}})
+}
+
+func TestLoaderSkipsBuildConstrainedFiles(t *testing.T) {
+	pkg := loadGolden(t, "buildtags")
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (excluded.go is constrained away)", len(pkg.Files))
+	}
+	if name := filepath.Base(pkg.Fset.Position(pkg.Files[0].Pos()).Filename); name != "buildtags.go" {
+		t.Errorf("loaded %s, want buildtags.go", name)
+	}
+	checkGolden(t, "buildtags", []Rule{WallClock{Scope: []string{pkg.Path}}})
 }
 
 func TestDiagnosticString(t *testing.T) {
@@ -144,7 +176,10 @@ func TestDefaultRulesCoverTheSuite(t *testing.T) {
 		}
 		names[r.Name()] = true
 	}
-	for _, want := range []string{"no-naked-rand", "no-float-eq", "no-wallclock", "no-dropped-error", "telemetry-label-literal"} {
+	for _, want := range []string{
+		"no-naked-rand", "no-float-eq", "no-wallclock", "no-dropped-error", "telemetry-label-literal",
+		"mutex-discipline", "lock-order", "goroutine-leak", "unlock-path",
+	} {
 		if !names[want] {
 			t.Errorf("DefaultRules is missing %s", want)
 		}

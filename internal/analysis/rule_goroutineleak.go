@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLeak flags `go` statements that launch a goroutine which can
+// never terminate: the spawned body's CFG contains code reachable from
+// its entry from which the function exit is unreachable — an unbounded
+// loop with no return, no break out, and no escaping goto. Such a
+// goroutine survives every shutdown, pins its captured memory, and under
+// -race only gets caught if a test happens to interleave with it; the
+// journal's interval-sync loop and the daemon's server goroutine are
+// exactly the shape this protects.
+//
+// The fix the rule pushes toward is a reachable termination signal: a
+// ctx.Done()/done-channel select case that returns, a bounded or
+// range-over-channel loop (closing the channel ends it), or a break.
+// Named targets declared in the same package are resolved and their
+// bodies analyzed; calls into other packages are skipped rather than
+// guessed at, so the rule cannot false-positive on code it cannot see.
+type GoroutineLeak struct{}
+
+func (GoroutineLeak) Name() string { return "goroutine-leak" }
+
+func (GoroutineLeak) Doc() string {
+	return "a launched goroutine must be able to terminate: every loop " +
+		"needs a reachable return/break (ctx or done-channel case, bounded " +
+		"or range-over-channel loop)"
+}
+
+func (r GoroutineLeak) Inspect(p *Pass) {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, what := goTargetBody(p, decls, g)
+			if body == nil {
+				return true
+			}
+			cfg := lockCFG(p, body)
+			reach := cfg.ReachableFromEntry()
+			exits := cfg.ReachesExit()
+			isTrapped := false
+			trapped := token.NoPos
+			for _, blk := range cfg.Blocks {
+				if !reach[blk] || exits[blk] {
+					continue
+				}
+				isTrapped = true
+				// Prefer a node position for the message; a bare `for {}`
+				// cycle has none, in which case the go statement stands in.
+				if len(blk.Nodes) > 0 {
+					if pos := blk.Nodes[0].Pos(); trapped == token.NoPos || pos < trapped {
+						trapped = pos
+					}
+				}
+			}
+			if isTrapped {
+				if trapped == token.NoPos {
+					trapped = g.Pos()
+				}
+				p.Reportf(g.Pos(), "goroutine%s can never terminate: no path from line %d reaches a return; add a ctx/done-channel case that returns, bound the loop, or break out",
+					what, p.Fset.Position(trapped).Line)
+			}
+			return true
+		})
+	}
+}
+
+// goTargetBody resolves the body the go statement runs: a function
+// literal, or a function/method declared in this package. Anything else
+// (imported functions, interface methods, function values) returns nil —
+// the rule stays silent rather than guess.
+func goTargetBody(p *Pass, decls map[types.Object]*ast.FuncDecl, g *ast.GoStmt) (*ast.BlockStmt, string) {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body, ""
+	case *ast.Ident:
+		if fd := decls[p.Info.Uses[fun]]; fd != nil {
+			return fd.Body, " " + fd.Name.Name
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[p.Info.Uses[fun.Sel]]; fd != nil {
+			return fd.Body, " " + fd.Name.Name
+		}
+	}
+	return nil, ""
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import "go/ast"
+
+// LockOrder enforces a declared partial acquisition order between locks.
+// A package declares its order once, next to the locks it covers:
+//
+//	//lint:lockorder jmu < mu
+//
+// and any path that acquires a lock while already holding one the
+// declaration says must come *after* it is flagged — the classic ABBA
+// deadlock shape, caught before two goroutines ever interleave. The
+// lockset here uses may-join (union): holding mu on even one incoming
+// path makes a subsequent jmu acquisition a deadlock risk, so "held on
+// some path" is the sound direction for ordering, unlike the must-join
+// the discipline rule uses.
+//
+// Locks are matched by field name (the last path component), so the
+// order declared for Broker.jmu/Broker.mu applies to b.jmu/b.mu in every
+// method. This directly machine-checks broker.go's write-ahead contract:
+// jmu serializes journal-append + ledger-append and is taken before mu,
+// never while mu is held.
+type LockOrder struct{}
+
+func (LockOrder) Name() string { return "lock-order" }
+
+func (LockOrder) Doc() string {
+	return "locks must be acquired in the order declared by //lint:lockorder " +
+		"directives (e.g. jmu < mu); acquiring against the order on any path " +
+		"is an ABBA deadlock risk"
+}
+
+func (r LockOrder) Inspect(p *Pass) {
+	lo := collectLockOrder(p, p.Reportf)
+	if len(lo.before) == 0 {
+		return
+	}
+	for _, fb := range funcBodies(p) {
+		cfg := lockCFG(p, fb.body)
+		res := Forward(cfg, &lockFlow{info: p.Info, entry: entryFact(fb), union: true})
+		res.Walk(func(_ *Block, n ast.Node, before lockFact) {
+			cur := before
+			for _, op := range lockOpsIn(p.Info, n) {
+				if op.acquire() {
+					acq := lastComponent(op.key)
+					for heldKey := range cur.held {
+						if heldKey == op.key {
+							continue
+						}
+						held := lastComponent(heldKey)
+						if lo.before[acq][held] {
+							p.Reportf(op.pos, "acquiring %s while %s may be held violates the declared lock order %s < %s",
+								op.key, heldKey, acq, held)
+						}
+					}
+				}
+				cur = applyLockOp(cur, op)
+			}
+		})
+	}
+}

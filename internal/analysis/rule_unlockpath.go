@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// UnlockPath reports locks acquired inside a function that are still
+// held when some path leaves it — the classic early-return-while-locked
+// bug, which in a serving loop doesn't crash anything: the next request
+// just blocks forever on the poisoned mutex. Every CFG edge into the
+// synthetic exit block is checked: explicit returns, explicit panic
+// calls (a manual unlock does not run during a panic; only a defer
+// does), and the fall-off-the-end path. A lock is credited as released
+// when the must-lockset shows it gone or a defer has scheduled its
+// unlock on that path. Locks held on entry by //lint:holds contract are
+// the caller's to release and are never reported.
+type UnlockPath struct{}
+
+func (UnlockPath) Name() string { return "unlock-path" }
+
+func (UnlockPath) Doc() string {
+	return "every lock acquired in a function must be released on all " +
+		"return and panic paths (a deferred unlock counts; only a defer " +
+		"survives a panic)"
+}
+
+func (r UnlockPath) Inspect(p *Pass) {
+	for _, fb := range funcBodies(p) {
+		cfg := lockCFG(p, fb.body)
+		res := Forward(cfg, &lockFlow{info: p.Info, entry: entryFact(fb)})
+		for _, blk := range cfg.Blocks {
+			if !hasSucc(blk, cfg.Exit) {
+				continue
+			}
+			fact, reached := res.After(blk)
+			if !reached {
+				continue
+			}
+			var leaked []string
+			for key, h := range fact.held {
+				if h.pos != token.NoPos && !fact.deferred[key] {
+					leaked = append(leaked, key)
+				}
+			}
+			sort.Strings(leaked)
+			pos, kind := exitPoint(p, blk, fb.body)
+			for _, key := range leaked {
+				p.Reportf(pos, "%s acquired at line %d is still held at this %s; release it on every path or defer the unlock",
+					key, p.Fset.Position(fact.held[key].pos).Line, kind)
+			}
+		}
+	}
+}
+
+func hasSucc(b, target *Block) bool {
+	for _, s := range b.Succs {
+		if s == target {
+			return true
+		}
+	}
+	return false
+}
+
+// exitPoint names the way blk leaves the function and where to report it.
+func exitPoint(p *Pass, blk *Block, body *ast.BlockStmt) (token.Pos, string) {
+	if len(blk.Nodes) > 0 {
+		switch last := blk.Nodes[len(blk.Nodes)-1].(type) {
+		case *ast.ReturnStmt:
+			return last.Pos(), "return"
+		case *ast.ExprStmt:
+			if call, isCall := last.X.(*ast.CallExpr); isCall && isPanicCall(p.Info, call) {
+				return last.Pos(), "panic"
+			}
+		}
+	}
+	return body.Rbrace, "end of the function"
+}

@@ -14,7 +14,12 @@ import "strings"
 //   - no-wallclock in the deterministic solver and experiment packages, so
 //     Figure 6–14 replays are reproducible under an injected clock;
 //   - no-dropped-error everywhere;
-//   - telemetry-label-literal everywhere internal/telemetry is used.
+//   - telemetry-label-literal everywhere internal/telemetry is used;
+//   - the four CFG/dataflow concurrency rules (mutex-discipline,
+//     lock-order, goroutine-leak, unlock-path) everywhere: their
+//     contracts are opt-in per annotation (`guarded by`, //lint:lockorder,
+//     //lint:holds), so unannotated packages pay nothing, and the rules
+//     stay silent where type information is missing.
 func DefaultRules(modulePath string) []Rule {
 	internal := func(pkg string) string { return modulePath + "/internal/" + pkg }
 	deterministic := []string{
@@ -35,6 +40,10 @@ func DefaultRules(modulePath string) []Rule {
 		WallClock{Scope: deterministic},
 		DroppedError{},
 		TelemetryLabel{TelemetryPath: internal("telemetry")},
+		MutexDiscipline{},
+		LockOrder{},
+		GoroutineLeak{},
+		UnlockPath{},
 	}
 }
 

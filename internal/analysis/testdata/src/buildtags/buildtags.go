@@ -1,0 +1,8 @@
+// Package buildtags is golden input for the loader's build-constraint
+// handling: excluded.go in this directory carries a //go:build never tag
+// and must not be loaded, so its unsuppressed violation never fires.
+package buildtags
+
+import "time"
+
+var loaded = time.Now() // want no-wallclock

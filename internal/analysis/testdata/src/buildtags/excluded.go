@@ -1,0 +1,11 @@
+//go:build never
+
+// This file is excluded by its build constraint; if the loader ever picks
+// it up anyway, the unsuppressed time.Now below makes the golden test fail
+// with an unexpected no-wallclock finding (and the duplicate package-level
+// name with buildtags.go produces a type error).
+package buildtags
+
+import "time"
+
+var loaded = time.Now()

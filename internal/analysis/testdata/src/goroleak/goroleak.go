@@ -1,0 +1,91 @@
+// Package goroleak is golden input for the goroutine-leak rule.
+package goroleak
+
+var tick = make(chan struct{})
+
+func work() {}
+
+// Forever spins with no way out.
+func Forever() {
+	go func() { // want goroutine-leak
+		for {
+			work()
+		}
+	}()
+}
+
+// Straight runs to completion on its own.
+func Straight(results chan<- int) {
+	go func() { results <- 1 }()
+}
+
+// Bounded loops a fixed number of times.
+func Bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}
+
+// DoneChannel has a termination case that returns — the shape the rule
+// pushes leak sites toward.
+func DoneChannel(done <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// SelectNoExit ticks forever: it has a select, but no case ever leaves
+// the loop.
+func SelectNoExit() {
+	go func() { // want goroutine-leak
+		for {
+			select {
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// Ranged drains a channel and exits when it is closed.
+func Ranged(jobs <-chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// BreakOut escapes its loop.
+func BreakOut(stop func() bool) {
+	go func() {
+		for {
+			if stop() {
+				break
+			}
+			work()
+		}
+	}()
+}
+
+// spin is a named worker with no exit; the finding lands on the go
+// statement that launches it.
+func spin() {
+	for {
+		work()
+	}
+}
+
+// Named launches the package-local worker, which the rule resolves.
+func Named() {
+	go spin() // want goroutine-leak
+}

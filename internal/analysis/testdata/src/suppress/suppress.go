@@ -14,3 +14,11 @@ var traced = time.Now() //lint:ignore no-wallclock trailing form, also display-o
 var leaked = time.Now() // want no-wallclock
 
 var naked = time.Now() // want no-wallclock
+
+var x, y float64
+
+//lint:ignore no-wallclock,no-float-eq one comma-separated directive silences both rules on the next line
+var both = time.Now().IsZero() || x == y
+
+//lint:ignore no-wallclock,no-dropped-error names two rules, neither of them float-eq
+var partial = time.Now().IsZero() || x == y // want no-float-eq

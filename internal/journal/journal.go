@@ -122,13 +122,13 @@ type Journal struct {
 	fs   FS
 
 	mu       sync.Mutex
-	tail     File
-	tailSeq  uint64
-	tailSize int64
-	dirty    bool  // bytes written since the last fsync
-	failed   error // sticky: a failed write/sync poisons the journal until reopen
-	closed   bool
-	buf      []byte // frame scratch, reused across appends
+	tail     File   // guarded by mu
+	tailSeq  uint64 // guarded by mu
+	tailSize int64  // guarded by mu
+	dirty    bool   // guarded by mu; bytes written since the last fsync
+	failed   error  // guarded by mu; sticky: a failed write/sync poisons the journal until reopen
+	closed   bool   // guarded by mu
+	buf      []byte // guarded by mu; frame scratch, reused across appends
 
 	// Recovery state captured at Open, consumed by Snapshot/Replay.
 	replay   []segmentInfo
@@ -211,10 +211,18 @@ func Open(dir string, opts Options) (*Journal, error) {
 	if err := j.recover(); err != nil {
 		return nil, err
 	}
-	if err := j.openTail(); err != nil {
+	// No other goroutine can reach j yet, but openTail and segmentsOnDisk
+	// touch mu-guarded tail state, so honor the contract anyway — it keeps
+	// the locking story uniform and costs one uncontended lock at startup.
+	j.mu.Lock()
+	err := j.openTail()
+	if err == nil {
+		j.tel.segments.Set(float64(j.segmentsOnDisk()))
+	}
+	j.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
-	j.tel.segments.Set(float64(j.segmentsOnDisk()))
 	if opts.Sync == SyncInterval {
 		j.done = make(chan struct{})
 		j.wg.Add(1)
@@ -225,6 +233,8 @@ func Open(dir string, opts Options) (*Journal, error) {
 
 // segmentsOnDisk counts the recovered segments plus the tail, without
 // double-counting when the tail is a recovered segment.
+//
+//lint:holds mu
 func (j *Journal) segmentsOnDisk() int {
 	n := len(j.replay)
 	if n == 0 || j.replay[n-1].seq != j.tailSeq {
@@ -290,6 +300,8 @@ func (j *Journal) Append(rec []byte) error {
 
 // rotateLocked seals the tail segment (fsync + close) and starts the next
 // one. Caller holds j.mu.
+//
+//lint:holds mu
 func (j *Journal) rotateLocked() error {
 	if err := j.tail.Sync(); err != nil {
 		return fmt.Errorf("sealing segment %d: %w", j.tailSeq, err)
@@ -337,6 +349,9 @@ func (j *Journal) Sync() error {
 	return j.syncLocked()
 }
 
+// syncLocked flushes dirty appends. Caller holds j.mu.
+//
+//lint:holds mu
 func (j *Journal) syncLocked() error {
 	if !j.dirty {
 		return nil
@@ -378,6 +393,9 @@ func (j *Journal) syncLoop() {
 // Close flushes and closes the tail segment. Further operations return
 // ErrClosed. Close is idempotent.
 func (j *Journal) Close() error {
+	// Manual unlock: the lock must be released before wg.Wait, or a
+	// concurrent syncLoop tick blocked on j.mu could never observe closed
+	// and exit.
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()

@@ -175,7 +175,9 @@ func (j *Journal) truncateSegment(path string, size int64) error {
 }
 
 // openTail positions the journal for appending: the last recovered
-// segment if it has room, otherwise a fresh one.
+// segment if it has room, otherwise a fresh one. Caller holds j.mu.
+//
+//lint:holds mu
 func (j *Journal) openTail() error {
 	if n := len(j.replay); n > 0 {
 		last := j.replay[n-1]

@@ -20,20 +20,24 @@ import (
 // A Broker is safe for concurrent use.
 type Broker struct {
 	mu         sync.RWMutex
-	offerings  map[string]*Offering
+	offerings  map[string]*Offering // guarded by mu
 	src        *rng.Locked
-	sales      []Purchase
-	commission float64
+	sales      []Purchase // guarded by mu
+	commission float64    // guarded by mu
 
 	// jmu serializes the journal-append + ledger-append pair, so the
-	// on-disk record order is exactly the ledger order. It is taken
-	// without b.mu held (and never the other way around).
+	// on-disk record order is exactly the ledger order. When both locks
+	// are needed, jmu comes first:
+	//
+	//lint:lockorder jmu < mu
 	jmu     sync.Mutex
-	journal SaleJournal
+	journal SaleJournal // guarded by mu
 
 	// tel is the broker's sale-path instrumentation; brokerTelemetry's
 	// handles are nil-safe, so an uninstrumented broker pays only nil
-	// checks on the hot path.
+	// checks on the hot path. Deliberately not lock-guarded: SetTelemetry
+	// runs at startup before the broker serves (the swap still happens
+	// under mu only to order it against a concurrent List).
 	tel brokerTelemetry
 }
 
@@ -271,10 +275,7 @@ func (b *Broker) finalize(o *Offering, loss string, pt pricing.PriceErrorPoint) 
 	drawStart := time.Now()
 	weights := o.Mechanism.Perturb(o.Optimal, delta, b.src.Split())
 	b.tel.noiseDraw.Observe(time.Since(drawStart).Seconds())
-	b.mu.RLock()
-	fee := b.commission * pt.Price
-	j := b.journal
-	b.mu.RUnlock()
+	fee, j := b.saleTerms(pt.Price)
 	p := Purchase{
 		Offering:       o.Name,
 		Loss:           loss,
@@ -287,32 +288,51 @@ func (b *Broker) finalize(o *Offering, loss string, pt pricing.PriceErrorPoint) 
 		Weights:        weights,
 	}
 	if j != nil {
-		// Write-ahead under jmu: journal order is ledger order, and a
-		// sale the journal did not accept never becomes visible.
-		b.jmu.Lock()
-		rec, err := MarshalSale(p)
-		if err == nil {
-			err = j.Append(rec)
-		}
-		if err != nil {
-			b.jmu.Unlock()
-			err = fmt.Errorf("%w: %v", ErrJournal, err)
+		if err := b.journalAndRecord(j, p); err != nil {
 			b.recordReject(err)
 			return nil, err
 		}
-		b.mu.Lock()
-		b.sales = append(b.sales, p)
-		b.mu.Unlock()
-		b.jmu.Unlock()
 	} else {
-		b.mu.Lock()
-		b.sales = append(b.sales, p)
-		b.mu.Unlock()
+		b.recordSale(p)
 	}
 	o.sales.Inc()
 	b.tel.revenue.Add(pt.Price)
 	b.tel.fees.Add(fee)
 	return &p, nil
+}
+
+// saleTerms snapshots the commission owed on price and the journal handle
+// under one read lock, so a concurrent SetCommission/SetJournal cannot
+// split the pair.
+func (b *Broker) saleTerms(price float64) (fee float64, j SaleJournal) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.commission * price, b.journal
+}
+
+// journalAndRecord makes the sale durable, then visible: write-ahead
+// under jmu, so journal order is ledger order and a sale the journal did
+// not accept never reaches the ledger. jmu is taken before mu, matching
+// the declared lock order.
+func (b *Broker) journalAndRecord(j SaleJournal, p Purchase) error {
+	b.jmu.Lock()
+	defer b.jmu.Unlock()
+	rec, err := MarshalSale(p)
+	if err == nil {
+		err = j.Append(rec)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	b.recordSale(p)
+	return nil
+}
+
+// recordSale appends the purchase to the ledger.
+func (b *Broker) recordSale(p Purchase) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sales = append(b.sales, p)
 }
 
 // Payouts returns the seller proceeds accumulated per offering — what the

@@ -131,7 +131,7 @@ func (rs *routeStats) class(status int) *telemetry.Counter {
 // and the label space stay bounded under scanner traffic.
 type routeCache struct {
 	mu    sync.RWMutex
-	stats map[[2]string]*routeStats
+	stats map[[2]string]*routeStats // guarded by mu
 }
 
 func (rc *routeCache) get(reg *telemetry.Registry, method, path string) *routeStats {
@@ -139,6 +139,8 @@ func (rc *routeCache) get(reg *telemetry.Registry, method, path string) *routeSt
 	if !knownRoutes[path] || !knownMethods[method] {
 		key = [2]string{"", "(other)"}
 	}
+	// Manual RUnlock: an RWMutex cannot upgrade, so the miss path below
+	// must re-acquire in write mode after releasing the read lock.
 	rc.mu.RLock()
 	rs := rc.stats[key]
 	rc.mu.RUnlock()

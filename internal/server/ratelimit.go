@@ -27,18 +27,18 @@ const DefaultBucketTTL = time.Minute
 type RateLimiter struct {
 	mu sync.Mutex
 	// rate is tokens added per second; burst the bucket capacity.
-	rate, burst float64
-	buckets     map[string]*bucket
+	rate, burst float64            // guarded by mu
+	buckets     map[string]*bucket // guarded by mu
 	// ttl is the idle eviction horizon; lastSweep gates how often the map
 	// is swept (at most once per sweepEvery) so eviction stays O(1)
 	// amortized on the allow path.
-	ttl        time.Duration
-	sweepEvery time.Duration
-	lastSweep  time.Time
-	now        func() time.Time // injectable clock for tests
+	ttl        time.Duration    // guarded by mu
+	sweepEvery time.Duration    // guarded by mu
+	lastSweep  time.Time        // guarded by mu
+	now        func() time.Time // guarded by mu; injectable clock for tests
 
-	throttled *telemetry.Counter
-	evicted   *telemetry.Counter
+	throttled *telemetry.Counter // guarded by mu
+	evicted   *telemetry.Counter // guarded by mu
 }
 
 type bucket struct {
@@ -73,15 +73,17 @@ func (rl *RateLimiter) SetTTL(ttl time.Duration) {
 		ttl = DefaultBucketTTL
 	}
 	rl.mu.Lock()
+	defer rl.mu.Unlock()
 	rl.ttl = ttl
 	rl.sweepEvery = ttl / 4
-	rl.mu.Unlock()
 }
 
 // SetTelemetry points the limiter's throttle/eviction counters at reg.
 func (rl *RateLimiter) SetTelemetry(reg *telemetry.Registry) {
 	reg.Help("nimbus_http_throttled_total", "Requests rejected by the per-client rate limiter.")
 	reg.Help("nimbus_ratelimit_evicted_total", "Idle client buckets evicted by the TTL sweep.")
+	// Manual unlock: GaugeFunc below must run outside the lock (its closure
+	// takes rl.mu on every scrape); the unlock-path rule checks the release.
 	rl.mu.Lock()
 	rl.throttled = reg.Counter("nimbus_http_throttled_total")
 	rl.evicted = reg.Counter("nimbus_ratelimit_evicted_total")
@@ -122,6 +124,8 @@ func (rl *RateLimiter) allow(client string) bool {
 
 // sweepLocked evicts buckets idle longer than the TTL, at most once per
 // sweepEvery. Callers hold rl.mu.
+//
+//lint:holds mu
 func (rl *RateLimiter) sweepLocked(now time.Time) {
 	if now.Sub(rl.lastSweep) < rl.sweepEvery {
 		return

@@ -38,8 +38,8 @@ type Registry struct {
 	metrics sync.Map // series key -> *Counter | *FloatCounter | *Gauge | *gaugeFunc | *Histogram
 
 	mu       sync.Mutex
-	help     map[string]string // base name -> HELP text
-	onScrape []func()          // collectors run before every exposition/snapshot
+	help     map[string]string // guarded by mu; base name -> HELP text
+	onScrape []func()          // guarded by mu; collectors run before every exposition/snapshot
 }
 
 // NewRegistry returns an empty registry.
