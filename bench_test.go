@@ -340,6 +340,7 @@ func BenchmarkBrokerPurchase(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := broker.BuyAtQuality(offering.Name, "squared", 5); err != nil {

@@ -1,0 +1,193 @@
+// The -perf mode surfaces internal/perf, the benchmark-orchestration
+// subsystem behind the BENCH_<n>.json trajectory:
+//
+//	nimbus-bench -perf run -bench 6 -out BENCH_6.json   # record a point
+//	nimbus-bench -perf run -short -out smoke.json       # CI smoke shape
+//	nimbus-bench -perf compare old.json new.json        # gate on regressions
+//	nimbus-bench -perf validate smoke.json              # schema check only
+//
+// compare exits 0 when every metric is within the noise threshold (or
+// improved), 1 when any metric regressed, and 2 on usage or I/O errors —
+// so a CI step can gate on the exit code alone.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"nimbus/internal/perf"
+)
+
+// perfMain dispatches the -perf subcommands and returns the process exit
+// code.
+func perfMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: nimbus-bench -perf <run|compare|validate> [flags]")
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "run":
+		return perfRun(ctx, rest, stdout, stderr)
+	case "compare":
+		return perfCompare(rest, stdout, stderr)
+	case "validate":
+		return perfValidate(rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "nimbus-bench -perf: unknown subcommand %q (want run, compare or validate)\n", cmd)
+		return 2
+	}
+}
+
+// perfRun records one trajectory point.
+func perfRun(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nimbus-bench -perf run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out      = fs.String("out", "", "write the report to this file (default stdout)")
+		benchNum = fs.Int("bench", 0, "trajectory point number stamped on the report (the n in BENCH_<n>.json)")
+		short    = fs.Bool("short", false, "smoke shape: small market, exact request count, millisecond benchtimes — proves the pipeline, not the hardware")
+		c        = fs.Int("c", 8, "concurrent buyers for the load phase")
+		duration = fs.Duration("duration", 5*time.Second, "load phase length (ignored when -n is set)")
+		count    = fs.Int("n", 0, "exact load request count (0 = run for -duration)")
+		seed     = fs.Int64("seed", 42, "seed for the market build and the replayable traffic mix")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "nimbus-bench -perf run: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	opts := perf.RunOptions{
+		Load: perf.LoadOptions{
+			Concurrency: *c,
+			Duration:    *duration,
+			Count:       *count,
+			Seed:        *seed,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(stderr, format+"\n", a...)
+			},
+		},
+		Bench:       *benchNum,
+		GeneratedBy: "nimbus-bench -perf run",
+	}
+	if *short {
+		opts.Load.Rows, opts.Load.Grid, opts.Load.Samples = 150, 10, 30
+		if *count == 0 {
+			opts.Load.Count, opts.Load.Duration = 60, 0
+		}
+		opts.Micro.BenchTime = 5 * time.Millisecond
+	}
+	rep, err := perf.Run(ctx, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "nimbus-bench -perf run:", err)
+		return 2
+	}
+	if *out == "" {
+		data, err := reportJSON(rep)
+		if err != nil {
+			fmt.Fprintln(stderr, "nimbus-bench -perf run:", err)
+			return 2
+		}
+		fmt.Fprint(stdout, data)
+		return 0
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		fmt.Fprintln(stderr, "nimbus-bench -perf run:", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "perf: wrote %s (%d load requests, %d kernels)\n", *out, rep.Load.Requests, len(rep.Micro))
+	return 0
+}
+
+// reportJSON renders a report exactly as WriteFile would, for stdout.
+func reportJSON(rep *perf.Report) (string, error) {
+	tmp, err := os.CreateTemp("", "nimbus-perf-*.json")
+	if err != nil {
+		return "", err
+	}
+	path := tmp.Name()
+	defer func() {
+		//lint:ignore no-dropped-error scratch file under the OS temp dir; nothing to do about a failed remove
+		os.Remove(path)
+	}()
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := rep.WriteFile(path); err != nil {
+		return "", err
+	}
+	data, err := os.ReadFile(path)
+	return string(data), err
+}
+
+// perfCompare diffs two reports and gates on regressions.
+func perfCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nimbus-bench -perf compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold     = fs.Float64("threshold", perf.DefaultThreshold, "relative noise band for kernel metrics (ns/op, allocs/op)")
+		loadThreshold = fs.Float64("load-threshold", perf.DefaultLoadThreshold, "relative noise band for load metrics (qps, latency percentiles)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: nimbus-bench -perf compare [flags] <old.json> <new.json>")
+		return 2
+	}
+	oldR, err := perf.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "nimbus-bench -perf compare:", err)
+		return 2
+	}
+	newR, err := perf.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "nimbus-bench -perf compare:", err)
+		return 2
+	}
+	c := perf.Compare(oldR, newR, perf.CompareOptions{
+		Threshold:     *threshold,
+		LoadThreshold: *loadThreshold,
+	})
+	c.WriteText(stdout)
+	if c.HasRegression() {
+		return 1
+	}
+	return 0
+}
+
+// perfValidate runs the schema gate over report files.
+func perfValidate(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nimbus-bench -perf validate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: nimbus-bench -perf validate <report.json>...")
+		return 2
+	}
+	code := 0
+	for _, path := range fs.Args() {
+		rep, err := perf.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "nimbus-bench -perf validate:", err)
+			code = 2
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: valid (schema v%d", path, rep.SchemaVersion)
+		if rep.Load != nil {
+			fmt.Fprintf(stdout, ", %d load requests", rep.Load.Requests)
+		}
+		fmt.Fprintf(stdout, ", %d kernels)\n", len(rep.Micro))
+	}
+	return code
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nimbus/internal/perf"
+)
+
+// runPerf invokes the -perf dispatcher the way main does, capturing both
+// streams.
+func runPerf(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = perfMain(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+// recordShort records a short-mode trajectory point into dir and returns
+// its path.
+func recordShort(t *testing.T, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	code, _, stderr := runPerf(t, "run", "-short", "-bench", "99", "-out", path)
+	if code != 0 {
+		t.Fatalf("perf run exited %d: %s", code, stderr)
+	}
+	return path
+}
+
+// TestPerfRunShortProducesValidReport runs the full short-mode pipeline and
+// checks the artifact passes the schema gate with both sections present.
+func TestPerfRunShortProducesValidReport(t *testing.T) {
+	path := recordShort(t, t.TempDir(), "smoke.json")
+	rep, err := perf.ReadFile(path)
+	if err != nil {
+		t.Fatalf("recorded report fails the schema gate: %v", err)
+	}
+	if rep.Bench != 99 {
+		t.Errorf("bench = %d, want 99", rep.Bench)
+	}
+	if rep.Load == nil || rep.Load.Requests == 0 {
+		t.Errorf("load section missing or empty: %+v", rep.Load)
+	}
+	if len(rep.Micro) == 0 {
+		t.Error("micro section empty")
+	}
+	if rep.GeneratedBy != "nimbus-bench -perf run" {
+		t.Errorf("generated_by = %q", rep.GeneratedBy)
+	}
+}
+
+// TestPerfRunStdout checks -out-less runs emit the JSON on stdout.
+func TestPerfRunStdout(t *testing.T) {
+	code, stdout, stderr := runPerf(t, "run", "-short")
+	if code != 0 {
+		t.Fatalf("perf run exited %d: %s", code, stderr)
+	}
+	var rep perf.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, stdout)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Errorf("stdout report invalid: %v", err)
+	}
+}
+
+// TestPerfCompareSelfAndRegression pins the acceptance criteria: self-compare
+// exits zero; a synthetically injected regression exits nonzero (specifically
+// 1, so CI can tell regressions from tool failures).
+func TestPerfCompareSelfAndRegression(t *testing.T) {
+	dir := t.TempDir()
+	path := recordShort(t, dir, "base.json")
+
+	code, stdout, stderr := runPerf(t, "compare", path, path)
+	if code != 0 {
+		t.Fatalf("self-compare exited %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "0 regression(s)") {
+		t.Errorf("self-compare output missing clean tally:\n%s", stdout)
+	}
+
+	// Inject a 10x kernel slowdown into a copy and re-compare.
+	rep, err := perf.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Micro[0].NsPerOp *= 10
+	slow := filepath.Join(dir, "slow.json")
+	if err := rep.WriteFile(slow); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runPerf(t, "compare", path, slow)
+	if code != 1 {
+		t.Fatalf("injected regression exited %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, rep.Micro[0].Name) {
+		t.Errorf("regression output does not name the kernel:\n%s", stdout)
+	}
+}
+
+// TestPerfValidate checks the validate subcommand accepts a good report and
+// rejects a corrupted one.
+func TestPerfValidate(t *testing.T) {
+	dir := t.TempDir()
+	path := recordShort(t, dir, "ok.json")
+	code, stdout, _ := runPerf(t, "validate", path)
+	if code != 0 || !strings.Contains(stdout, "valid") {
+		t.Errorf("validate of a good report: exit %d, output %q", code, stdout)
+	}
+
+	rep, err := perf.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.SchemaVersion = 99
+	bad := filepath.Join(dir, "bad.json")
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runPerf(t, "validate", bad)
+	if code != 2 {
+		t.Errorf("validate of a bad report exited %d, want 2 (stderr: %s)", code, stderr)
+	}
+}
+
+// TestPerfUsageErrors covers the exit-2 paths.
+func TestPerfUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"compare", "one.json"},
+		{"compare", "missing-a.json", "missing-b.json"},
+		{"validate"},
+		{"run", "stray-positional"},
+	} {
+		if code, _, _ := runPerf(t, args...); code != 2 {
+			t.Errorf("args %v exited %d, want 2", args, code)
+		}
+	}
+}

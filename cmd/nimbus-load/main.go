@@ -4,12 +4,14 @@
 // budget) across every (offering, loss) curve on the menu. It reports
 // throughput, error counts, and exact latency percentiles, so a deployment
 // can be sized — and the /metrics series sanity-checked — before real buyers
-// arrive.
+// arrive. The traffic core lives in internal/loadgen, shared with the
+// internal/perf trajectory harness.
 //
 // Usage:
 //
 //	nimbus-load -c 32 -duration 10s http://localhost:8080
 //	nimbus-load -n 500 -format json http://localhost:8080
+//	nimbus-load -n 500 -json http://localhost:8080   # perf-schema report
 //
 // Budgets are derived from the live price–error curves (a random curve
 // point's error or price, inflated by up to 50%), so every generated request
@@ -17,12 +19,16 @@
 // just under nimbusd's default per-client limit (50 req/s): a default run
 // against a default broker finishes with zero non-2xx responses. Pass
 // -rate 0 to uncork the buyers and probe the throttle path instead.
+//
+// -json emits the run as a schema-versioned internal/perf report (the same
+// shape as the BENCH_<n>.json trajectory files, load section only), so a
+// standalone load run can be archived next to — and compared against — the
+// recorded trajectory.
 package main
 
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,301 +36,88 @@ import (
 	"os"
 	"os/signal"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"nimbus/internal/rng"
+	"nimbus/internal/loadgen"
+	"nimbus/internal/perf"
 	"nimbus/internal/server"
 )
 
+// options collects the CLI knobs around the loadgen core.
+type options struct {
+	loadgen.Config
+	BaseURL  string
+	Timeout  time.Duration
+	Format   string // text or json (the plain loadgen report)
+	PerfJSON bool   // emit the internal/perf schema instead
+}
+
 func main() {
-	var cfg Config
-	flag.IntVar(&cfg.Concurrency, "c", 8, "concurrent buyers")
-	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "run length (ignored when -n is set)")
-	flag.IntVar(&cfg.Count, "n", 0, "total request count (0 = run for -duration)")
-	flag.Int64Var(&cfg.Seed, "seed", 1, "base seed for the replayable traffic mix (buyer i draws from an rng stream seeded with seed+i)")
-	flag.StringVar(&cfg.Format, "format", "text", "report format: text or json")
-	flag.DurationVar(&cfg.Timeout, "timeout", 10*time.Second, "per-request timeout")
-	flag.Float64Var(&cfg.Rate, "rate", 40, "aggregate request rate cap in req/s (0 = closed-loop, as fast as responses return)")
+	var opt options
+	flag.IntVar(&opt.Concurrency, "c", 8, "concurrent buyers")
+	flag.DurationVar(&opt.Duration, "duration", 10*time.Second, "run length (ignored when -n is set)")
+	flag.IntVar(&opt.Count, "n", 0, "total request count (0 = run for -duration)")
+	flag.Int64Var(&opt.Seed, "seed", 1, "base seed for the replayable traffic mix (buyer i draws from an rng stream seeded with seed+i)")
+	flag.StringVar(&opt.Format, "format", "text", "report format: text or json")
+	flag.BoolVar(&opt.PerfJSON, "json", false, "emit a schema-versioned perf report (internal/perf schema, load section) instead of -format output")
+	flag.DurationVar(&opt.Timeout, "timeout", 10*time.Second, "per-request timeout")
+	flag.Float64Var(&opt.Rate, "rate", 40, "aggregate request rate cap in req/s (0 = closed-loop, as fast as responses return)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: nimbus-load [flags] <base-url>")
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg.BaseURL = flag.Arg(0)
+	opt.BaseURL = flag.Arg(0)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, os.Stdout, cfg); err != nil {
+	if err := run(ctx, os.Stdout, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "nimbus-load:", err)
 		os.Exit(1)
 	}
 }
 
-// Config is one load run.
-type Config struct {
-	BaseURL     string
-	Concurrency int
-	Duration    time.Duration
-	Count       int
-	Seed        int64
-	Format      string
-	Timeout     time.Duration
-	// Rate caps the aggregate request rate (req/s); 0 runs fully
-	// closed-loop. The CLI default (40) stays under nimbusd's default
-	// per-client rate limit so a stock run is never throttled.
-	Rate float64
-}
-
-// Report is the run summary. All latencies are in seconds.
-type Report struct {
-	Requests int     `json:"requests"`
-	Errors   int     `json:"errors"`  // transport failures + non-2xx
-	NonOK    int     `json:"non_2xx"` // the non-2xx subset
-	Elapsed  float64 `json:"elapsed_seconds"`
-	QPS      float64 `json:"qps"`
-	Min      float64 `json:"latency_min_seconds"`
-	Mean     float64 `json:"latency_mean_seconds"`
-	P50      float64 `json:"latency_p50_seconds"`
-	P95      float64 `json:"latency_p95_seconds"`
-	P99      float64 `json:"latency_p99_seconds"`
-	Max      float64 `json:"latency_max_seconds"`
-	// ByOption counts completed requests per purchase option.
-	ByOption map[string]int `json:"by_option"`
-	// Revenue sums the prices of successful purchases, for cross-checking
-	// against the broker's nimbus_revenue_total series.
-	Revenue float64 `json:"revenue"`
-}
-
-// target is one (offering, loss) curve a buyer can shop on.
-type target struct {
-	offering string
-	loss     string
-	points   []curvePoint
-}
-
-type curvePoint struct {
-	x, err, price float64
-}
-
-// workerResult is one buyer's tally, merged after the run.
-type workerResult struct {
-	latencies []float64
-	byOption  map[string]int
-	errs      int
-	nonOK     int
-	revenue   float64
-}
-
-var options = [...]string{"quality", "error-budget", "price-budget"}
-
 // run executes the load test and writes the report. It is the testable
 // core: main only parses flags around it.
-func run(ctx context.Context, w io.Writer, cfg Config) error {
-	if cfg.Concurrency <= 0 {
-		return fmt.Errorf("concurrency %d must be positive", cfg.Concurrency)
-	}
-	if cfg.Count <= 0 && cfg.Duration <= 0 {
-		return errors.New("need a positive -n or -duration")
-	}
-	if cfg.Format != "text" && cfg.Format != "json" {
-		return fmt.Errorf("unknown format %q (want text or json)", cfg.Format)
-	}
-	if cfg.Rate < 0 {
-		return fmt.Errorf("rate %v must be non-negative", cfg.Rate)
+func run(ctx context.Context, w io.Writer, opt options) error {
+	if opt.Format != "text" && opt.Format != "json" {
+		return fmt.Errorf("unknown format %q (want text or json)", opt.Format)
 	}
 	httpClient := &http.Client{
-		Timeout:   cfg.Timeout,
-		Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Concurrency},
+		Timeout:   opt.Timeout,
+		Transport: &http.Transport{MaxIdleConnsPerHost: opt.Concurrency},
 	}
-	client := &server.Client{BaseURL: cfg.BaseURL, HTTPClient: httpClient}
-
-	targets, err := loadTargets(ctx, client)
+	client := &server.Client{BaseURL: opt.BaseURL, HTTPClient: httpClient}
+	rep, err := loadgen.Run(ctx, client, opt.Config)
 	if err != nil {
 		return err
 	}
-
-	// Count mode claims request slots from a shared counter; duration mode
-	// runs every buyer until the deadline.
-	runCtx := ctx
-	if cfg.Count <= 0 {
-		var cancel context.CancelFunc
-		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
-		defer cancel()
+	if opt.PerfJSON {
+		return writePerfReport(w, rep, opt.Config)
 	}
-	var issued atomic.Int64
-	claim := func() bool {
-		if runCtx.Err() != nil {
-			return false
-		}
-		if cfg.Count > 0 {
-			return issued.Add(1) <= int64(cfg.Count)
-		}
-		return true
-	}
-
-	// A shared ticker paces all buyers: each tick releases one request, so
-	// the aggregate rate — not the per-worker rate — is what's capped.
-	var tick <-chan time.Time
-	if cfg.Rate > 0 {
-		ticker := time.NewTicker(time.Duration(float64(time.Second) / cfg.Rate))
-		defer ticker.Stop()
-		tick = ticker.C
-	}
-
-	results := make([]workerResult, cfg.Concurrency)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for i := 0; i < cfg.Concurrency; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i] = buyer(runCtx, client, targets, rng.New(cfg.Seed+int64(i)), claim, tick)
-		}(i)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	rep := merge(results, elapsed)
-	// A caller-cancelled context (^C) is a clean early stop, not an error.
-	if ctx.Err() != nil && rep.Requests == 0 {
-		return ctx.Err()
-	}
-	return writeReport(w, cfg.Format, rep)
+	return writeReport(w, opt.Format, rep)
 }
 
-// loadTargets fetches the menu and every per-loss price–error curve.
-func loadTargets(ctx context.Context, client *server.Client) ([]target, error) {
-	menu, err := client.Menu(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("fetching menu: %w", err)
+// writePerfReport wraps the run in the internal/perf schema: environment
+// fingerprint plus the load section. The server-side latency view is
+// absent — the broker is remote, its registry out of reach.
+func writePerfReport(w io.Writer, rep loadgen.Report, cfg loadgen.Config) error {
+	load := perf.LoadResultFrom(rep, cfg)
+	r := &perf.Report{
+		SchemaVersion: perf.SchemaVersion,
+		GeneratedBy:   "nimbus-load -json",
+		Env:           perf.CaptureEnv(),
+		Load:          &load,
 	}
-	if len(menu.Offerings) == 0 {
-		return nil, errors.New("broker has an empty menu; nothing to buy")
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("run produced an invalid perf report: %w", err)
 	}
-	var targets []target
-	for _, o := range menu.Offerings {
-		for _, loss := range o.Losses {
-			curve, err := client.Curve(ctx, o.Name, loss)
-			if err != nil {
-				return nil, fmt.Errorf("fetching curve %s/%s: %w", o.Name, loss, err)
-			}
-			t := target{offering: o.Name, loss: loss}
-			for _, p := range curve.Points {
-				t.points = append(t.points, curvePoint{x: p.X, err: p.Error, price: p.Price})
-			}
-			if len(t.points) > 0 {
-				targets = append(targets, t)
-			}
-		}
-	}
-	if len(targets) == 0 {
-		return nil, errors.New("no offering has a non-empty price–error curve")
-	}
-	return targets, nil
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
-// buyer is one closed-loop worker: claim a slot, pick a curve and option,
-// buy, record, repeat.
-func buyer(ctx context.Context, client *server.Client, targets []target, rnd *rng.Source, claim func() bool, tick <-chan time.Time) workerResult {
-	res := workerResult{byOption: make(map[string]int)}
-	for claim() {
-		if tick != nil {
-			select {
-			case <-tick:
-			case <-ctx.Done():
-				return res
-			}
-		}
-		t := targets[rnd.Intn(len(targets))]
-		pt := t.points[rnd.Intn(len(t.points))]
-		opt := options[rnd.Intn(len(options))]
-		req := server.BuyRequest{Offering: t.offering, Loss: t.loss, Option: opt}
-		switch opt {
-		case "quality":
-			req.Value = pt.x
-		case "error-budget":
-			// Any listed point's error is attainable; inflating it keeps
-			// the request satisfiable while varying which point is bought.
-			req.Value = pt.err * (1 + 0.5*rnd.Float64())
-		case "price-budget":
-			req.Value = pt.price * (1 + 0.5*rnd.Float64())
-		}
-		reqStart := time.Now()
-		p, err := client.Buy(ctx, req)
-		res.latencies = append(res.latencies, time.Since(reqStart).Seconds())
-		res.byOption[opt]++
-		if err != nil {
-			if ctx.Err() != nil {
-				// The deadline cut this request off mid-flight; drop it
-				// rather than report a spurious failure.
-				res.latencies = res.latencies[:len(res.latencies)-1]
-				res.byOption[opt]--
-				break
-			}
-			res.errs++
-			var apiErr *server.APIError
-			if errors.As(err, &apiErr) {
-				res.nonOK++
-			}
-			continue
-		}
-		res.revenue += p.Price
-	}
-	return res
-}
-
-// merge folds the per-worker tallies into a report with exact percentiles
-// (all latencies are kept and sorted — a load test's sample counts are small
-// enough that estimation would be a needless loss of precision).
-func merge(results []workerResult, elapsed time.Duration) Report {
-	rep := Report{Elapsed: elapsed.Seconds(), ByOption: make(map[string]int)}
-	var all []float64
-	for _, r := range results {
-		all = append(all, r.latencies...)
-		rep.Errors += r.errs
-		rep.NonOK += r.nonOK
-		rep.Revenue += r.revenue
-		for k, v := range r.byOption {
-			rep.ByOption[k] += v
-		}
-	}
-	rep.Requests = len(all)
-	if rep.Requests == 0 {
-		return rep
-	}
-	sort.Float64s(all)
-	var sum float64
-	for _, v := range all {
-		sum += v
-	}
-	rep.QPS = float64(rep.Requests) / rep.Elapsed
-	rep.Min = all[0]
-	rep.Max = all[len(all)-1]
-	rep.Mean = sum / float64(len(all))
-	rep.P50 = percentile(all, 0.50)
-	rep.P95 = percentile(all, 0.95)
-	rep.P99 = percentile(all, 0.99)
-	return rep
-}
-
-// percentile reads the q-th quantile off a sorted sample (nearest-rank).
-func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q*float64(len(sorted)) + 0.5)
-	if i < 1 {
-		i = 1
-	}
-	if i > len(sorted) {
-		i = len(sorted)
-	}
-	return sorted[i-1]
-}
-
-func writeReport(w io.Writer, format string, rep Report) error {
+func writeReport(w io.Writer, format string, rep loadgen.Report) error {
 	if format == "json" {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

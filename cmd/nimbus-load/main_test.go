@@ -5,23 +5,27 @@ import (
 	"context"
 	"encoding/json"
 	"net/http/httptest"
-	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"nimbus/internal/dataset"
+	"nimbus/internal/loadgen"
 	"nimbus/internal/market"
 	"nimbus/internal/ml"
+	"nimbus/internal/perf"
 	"nimbus/internal/pricing"
 	"nimbus/internal/rng"
 	"nimbus/internal/server"
-	"nimbus/internal/telemetry"
 )
+
+// The traffic core's behaviour (pacing, determinism, error accounting) is
+// tested in internal/loadgen; these tests cover the CLI shell — option
+// plumbing and the three report renderings.
 
 // newBrokerServer stands up a small one-offering broker behind the full
 // production middleware, mirroring nimbusd's wiring.
-func newBrokerServer(t *testing.T, reg *telemetry.Registry) *httptest.Server {
+func newBrokerServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	d, err := dataset.StandIn("CASP", dataset.GenConfig{Rows: 200, Seed: 11})
 	if err != nil {
@@ -39,7 +43,6 @@ func newBrokerServer(t *testing.T, reg *telemetry.Registry) *httptest.Server {
 		t.Fatal(err)
 	}
 	broker := market.NewBroker(13)
-	broker.SetTelemetry(reg)
 	if _, err := broker.List(market.OfferingConfig{
 		Seller:  seller,
 		Model:   ml.LinearRegression{Ridge: 1e-3},
@@ -50,223 +53,109 @@ func newBrokerServer(t *testing.T, reg *telemetry.Registry) *httptest.Server {
 		t.Fatal(err)
 	}
 	quiet := func(string, ...any) {}
-	handler := server.New(broker, server.WithLogger(quiet), server.WithTelemetry(reg))
-	srv := httptest.NewServer(server.WithMiddleware(handler, quiet, reg))
+	handler := server.New(broker, server.WithLogger(quiet))
+	srv := httptest.NewServer(server.WithMiddleware(handler, quiet, nil))
 	t.Cleanup(srv.Close)
 	return srv
 }
 
-// TestRunCountMode drives an exact request count through the generator and
-// checks the report adds up with zero errors — satisfiable budgets mean
-// every generated purchase should land a 2xx.
-func TestRunCountMode(t *testing.T) {
-	reg := telemetry.NewRegistry()
-	srv := newBrokerServer(t, reg)
-	var out bytes.Buffer
-	cfg := Config{
-		BaseURL:     srv.URL,
-		Concurrency: 4,
-		Count:       100,
-		Seed:        7,
-		Format:      "json",
-		Timeout:     10 * time.Second,
-	}
-	if err := run(context.Background(), &out, cfg); err != nil {
-		t.Fatal(err)
-	}
-	var rep Report
-	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
-		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
-	}
-	if rep.Requests != 100 {
-		t.Errorf("requests = %d, want 100", rep.Requests)
-	}
-	if rep.Errors != 0 || rep.NonOK != 0 {
-		t.Errorf("errors = %d (non-2xx %d), want 0: all budgets derive from listed curve points", rep.Errors, rep.NonOK)
-	}
-	var byOpt int
-	for _, opt := range options {
-		n := rep.ByOption[opt]
-		if n == 0 {
-			t.Errorf("option %q never exercised", opt)
-		}
-		byOpt += n
-	}
-	if byOpt != rep.Requests {
-		t.Errorf("per-option counts sum to %d, want %d", byOpt, rep.Requests)
-	}
-	if rep.Revenue <= 0 {
-		t.Errorf("revenue = %v, want > 0", rep.Revenue)
-	}
-	if rep.P50 <= 0 || rep.P95 < rep.P50 || rep.P99 < rep.P95 || rep.Max < rep.P99 {
-		t.Errorf("latency percentiles out of order: p50=%v p95=%v p99=%v max=%v", rep.P50, rep.P95, rep.P99, rep.Max)
-	}
-	if rep.QPS <= 0 {
-		t.Errorf("qps = %v, want > 0", rep.QPS)
-	}
-
-	// The generator's own revenue tally must agree with the broker's
-	// telemetry — the load tool is also a consistency check on /metrics.
-	snap := reg.Snapshot()
-	if got := snap.CounterValue("nimbus_revenue_total"); !within(got, rep.Revenue, 1e-6) {
-		t.Errorf("broker revenue series = %v, generator saw %v", got, rep.Revenue)
-	}
-	if got := snap.CounterValue("nimbus_http_requests_total", "route", "POST /api/v1/buy", "class", "2xx"); got != float64(rep.Requests) {
-		t.Errorf("buy 2xx series = %v, want %v", got, rep.Requests)
+func baseOptions(url string) options {
+	return options{
+		Config: loadgen.Config{
+			Concurrency: 2,
+			Count:       30,
+			Seed:        7,
+		},
+		BaseURL: url,
+		Timeout: 10 * time.Second,
+		Format:  "text",
 	}
 }
 
-// TestRunDurationMode checks the time-bounded mode terminates on its own
-// and renders the text report.
-func TestRunDurationMode(t *testing.T) {
-	reg := telemetry.NewRegistry()
-	srv := newBrokerServer(t, reg)
+// TestRunTextReport checks the default rendering carries the headline
+// numbers.
+func TestRunTextReport(t *testing.T) {
+	srv := newBrokerServer(t)
 	var out bytes.Buffer
-	cfg := Config{
-		BaseURL:     srv.URL,
-		Concurrency: 2,
-		Duration:    300 * time.Millisecond,
-		Seed:        3,
-		Format:      "text",
-		Timeout:     10 * time.Second,
-	}
-	start := time.Now()
-	if err := run(context.Background(), &out, cfg); err != nil {
+	if err := run(context.Background(), &out, baseOptions(srv.URL)); err != nil {
 		t.Fatal(err)
 	}
-	if elapsed := time.Since(start); elapsed > 5*time.Second {
-		t.Errorf("duration mode ran %v, expected a prompt stop", elapsed)
-	}
 	text := out.String()
-	for _, want := range []string{"requests", "errors", "latency", "p95"} {
+	for _, want := range []string{"requests", "errors", "revenue", "latency", "p95"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("text report missing %q:\n%s", want, text)
 		}
 	}
 }
 
-// TestRunPacing checks the shared ticker actually caps aggregate QPS: 20
-// requests at 100 req/s cannot finish faster than ~200ms no matter how many
-// buyers run.
-func TestRunPacing(t *testing.T) {
-	reg := telemetry.NewRegistry()
-	srv := newBrokerServer(t, reg)
-	cfg := Config{
-		BaseURL:     srv.URL,
-		Concurrency: 8,
-		Count:       20,
-		Rate:        100,
-		Seed:        5,
-		Format:      "json",
-		Timeout:     10 * time.Second,
-	}
-	start := time.Now()
+// TestRunJSONReport checks -format json emits the plain loadgen report.
+func TestRunJSONReport(t *testing.T) {
+	srv := newBrokerServer(t)
+	opt := baseOptions(srv.URL)
+	opt.Format = "json"
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, cfg); err != nil {
+	if err := run(context.Background(), &out, opt); err != nil {
 		t.Fatal(err)
 	}
-	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
-		t.Errorf("20 requests at 100 req/s finished in %v; pacing is not applied", elapsed)
-	}
-	var rep Report
+	var rep loadgen.Report
 	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Requests != 30 || rep.Errors != 0 {
+		t.Errorf("requests=%d errors=%d, want 30 and 0", rep.Requests, rep.Errors)
+	}
+}
+
+// TestRunPerfSchema checks -json emits a valid schema-versioned perf
+// report whose load section matches the run — the same schema as the
+// BENCH_<n>.json trajectory files.
+func TestRunPerfSchema(t *testing.T) {
+	srv := newBrokerServer(t)
+	opt := baseOptions(srv.URL)
+	opt.PerfJSON = true
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, opt); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Requests != 20 || rep.Errors != 0 {
-		t.Errorf("requests = %d errors = %d, want 20 and 0", rep.Requests, rep.Errors)
+	var rep perf.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("perf report is not JSON: %v\n%s", err, out.String())
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("emitted report fails the schema gate: %v\n%s", err, out.String())
+	}
+	if rep.SchemaVersion != perf.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, perf.SchemaVersion)
+	}
+	if rep.Load == nil || rep.Load.Requests != 30 {
+		t.Errorf("load section = %+v, want 30 requests", rep.Load)
+	}
+	if rep.Load.Server != nil {
+		t.Error("standalone run claims a server-side latency view it cannot have")
+	}
+	if len(rep.Micro) != 0 {
+		t.Error("standalone load run should not carry micro results")
+	}
+	if rep.Env.GOOS == "" || rep.Env.NumCPU <= 0 {
+		t.Errorf("fingerprint incomplete: %+v", rep.Env)
 	}
 }
 
-// TestRunRejectsBadConfig covers the flag-validation error paths.
-func TestRunRejectsBadConfig(t *testing.T) {
+// TestRunRejectsBadOptions covers the CLI validation paths.
+func TestRunRejectsBadOptions(t *testing.T) {
 	for _, tc := range []struct {
-		name string
-		cfg  Config
+		name   string
+		mutate func(*options)
 	}{
-		{"no concurrency", Config{Concurrency: 0, Count: 1, Format: "text"}},
-		{"no bound", Config{Concurrency: 1, Format: "text"}},
-		{"bad format", Config{Concurrency: 1, Count: 1, Format: "xml"}},
-		{"negative rate", Config{Concurrency: 1, Count: 1, Format: "text", Rate: -5}},
+		{"bad format", func(o *options) { o.Format = "xml" }},
+		{"no concurrency", func(o *options) { o.Concurrency = 0 }},
+		{"no bound", func(o *options) { o.Count = 0; o.Duration = 0 }},
+		{"negative rate", func(o *options) { o.Rate = -5 }},
 	} {
-		if err := run(context.Background(), &bytes.Buffer{}, tc.cfg); err == nil {
-			t.Errorf("%s: run accepted invalid config", tc.name)
+		opt := baseOptions("http://127.0.0.1:0")
+		tc.mutate(&opt)
+		if err := run(context.Background(), &bytes.Buffer{}, opt); err == nil {
+			t.Errorf("%s: run accepted invalid options", tc.name)
 		}
-	}
-}
-
-// TestRunEmptyMenu checks the generator refuses a broker with nothing to
-// sell instead of spinning.
-func TestRunEmptyMenu(t *testing.T) {
-	quiet := func(string, ...any) {}
-	handler := server.New(market.NewBroker(1), server.WithLogger(quiet))
-	srv := httptest.NewServer(handler)
-	t.Cleanup(srv.Close)
-	err := run(context.Background(), &bytes.Buffer{}, Config{
-		BaseURL: srv.URL, Concurrency: 1, Count: 5, Format: "text", Timeout: time.Second,
-	})
-	if err == nil || !strings.Contains(err.Error(), "empty menu") {
-		t.Errorf("err = %v, want empty-menu refusal", err)
-	}
-}
-
-// TestPercentile pins the nearest-rank convention.
-func TestPercentile(t *testing.T) {
-	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	for _, tc := range []struct {
-		q    float64
-		want float64
-	}{
-		{0.50, 5}, {0.95, 10}, {0.99, 10}, {0.10, 1},
-	} {
-		if got := percentile(sorted, tc.q); got != tc.want {
-			t.Errorf("percentile(%v) = %v, want %v", tc.q, got, tc.want)
-		}
-	}
-	if got := percentile(nil, 0.5); got != 0 {
-		t.Errorf("percentile(empty) = %v, want 0", got)
-	}
-}
-
-func within(a, b, tol float64) bool {
-	d := a - b
-	if d < 0 {
-		d = -d
-	}
-	return d <= tol
-}
-
-// TestRunReplayableWithSeed pins the migration off math/rand onto
-// internal/rng: two single-buyer runs with the same -seed against
-// identically-listed brokers must issue the identical purchase mix and
-// collect the identical revenue, bit for bit.
-func TestRunReplayableWithSeed(t *testing.T) {
-	do := func() Report {
-		var out bytes.Buffer
-		cfg := Config{
-			BaseURL:     newBrokerServer(t, nil).URL,
-			Concurrency: 1,
-			Count:       60,
-			Seed:        99,
-			Format:      "json",
-			Timeout:     10 * time.Second,
-		}
-		if err := run(context.Background(), &out, cfg); err != nil {
-			t.Fatal(err)
-		}
-		var rep Report
-		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
-			t.Fatalf("report is not JSON: %v\n%s", err, out.String())
-		}
-		return rep
-	}
-	a, b := do(), do()
-	if !reflect.DeepEqual(a.ByOption, b.ByOption) {
-		t.Errorf("option mix not replayable: %v vs %v", a.ByOption, b.ByOption)
-	}
-	if a.Revenue != b.Revenue {
-		t.Errorf("revenue not replayable: %v vs %v", a.Revenue, b.Revenue)
-	}
-	if a.Requests != b.Requests {
-		t.Errorf("request counts differ: %d vs %d", a.Requests, b.Requests)
 	}
 }

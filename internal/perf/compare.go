@@ -1,0 +1,214 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Verdict classifies one metric's movement between two reports.
+type Verdict string
+
+const (
+	// VerdictRegression: the metric moved in the bad direction by more
+	// than the noise threshold.
+	VerdictRegression Verdict = "regression"
+	// VerdictImprovement: the metric moved in the good direction by more
+	// than the noise threshold.
+	VerdictImprovement Verdict = "improvement"
+	// VerdictWithinNoise: the movement is inside the threshold band.
+	VerdictWithinNoise Verdict = "within-noise"
+)
+
+// MetricDelta is one compared metric. Delta is the relative change
+// oriented so that positive means worse (a QPS drop and a latency rise
+// both read as positive), which keeps the verdict rule a single
+// comparison against the threshold.
+type MetricDelta struct {
+	Metric  string  `json:"metric"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	Delta   float64 `json:"delta"` // relative, positive = worse
+	Verdict Verdict `json:"verdict"`
+}
+
+// CompareOptions sets the per-class noise bands.
+type CompareOptions struct {
+	// Threshold is the relative band for kernel metrics (ns/op, allocs);
+	// 0 means DefaultThreshold.
+	Threshold float64
+	// LoadThreshold is the band for load metrics (QPS, latency
+	// percentiles), which carry scheduler and network jitter a kernel
+	// bench does not; 0 means DefaultLoadThreshold.
+	LoadThreshold float64
+}
+
+// DefaultThreshold is the kernel noise band: same-machine testing.Benchmark
+// reruns of these kernels sit well inside ±10%.
+const DefaultThreshold = 0.10
+
+// DefaultLoadThreshold is the load-metric band: a closed-loop HTTP run
+// shares the machine with its own server, so QPS and tail latencies swing
+// much wider run to run.
+const DefaultLoadThreshold = 0.25
+
+// Comparison is the full diff of two reports.
+type Comparison struct {
+	Deltas []MetricDelta `json:"deltas"`
+	// OnlyOld and OnlyNew list micro metrics present in one report only —
+	// a renamed or dropped kernel is surfaced, never silently skipped.
+	OnlyOld []string `json:"only_old,omitempty"`
+	OnlyNew []string `json:"only_new,omitempty"`
+	// EnvMismatch lists fingerprint fields that differ. Cross-environment
+	// numbers compare as weather, not signal, so the text report leads
+	// with the warning.
+	EnvMismatch []string `json:"env_mismatch,omitempty"`
+}
+
+// Regressions returns the deltas that crossed the threshold in the bad
+// direction.
+func (c *Comparison) Regressions() []MetricDelta {
+	var out []MetricDelta
+	for _, d := range c.Deltas {
+		if d.Verdict == VerdictRegression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HasRegression reports whether any metric regressed beyond its band.
+func (c *Comparison) HasRegression() bool { return len(c.Regressions()) > 0 }
+
+// Compare diffs two reports metric by metric. Both reports must already be
+// valid (ReadFile validates); Compare itself never fails on metric values,
+// only classifies them.
+func Compare(oldR, newR *Report, opts CompareOptions) *Comparison {
+	if opts.Threshold <= 0 {
+		opts.Threshold = DefaultThreshold
+	}
+	if opts.LoadThreshold <= 0 {
+		opts.LoadThreshold = DefaultLoadThreshold
+	}
+	c := &Comparison{EnvMismatch: envMismatch(oldR.Env, newR.Env)}
+
+	if oldR.Load != nil && newR.Load != nil {
+		// QPS: lower is worse, so the drop is the positive direction.
+		c.add("load/qps", oldR.Load.QPS, newR.Load.QPS, true, opts.LoadThreshold)
+		c.addLatency("load/client", oldR.Load.Client, newR.Load.Client, opts.LoadThreshold)
+		if oldR.Load.Server != nil && newR.Load.Server != nil {
+			c.addLatency("load/server", *oldR.Load.Server, *newR.Load.Server, opts.LoadThreshold)
+		}
+	}
+
+	oldMicro := make(map[string]MicroResult, len(oldR.Micro))
+	for _, m := range oldR.Micro {
+		oldMicro[m.Name] = m
+	}
+	newSeen := make(map[string]bool, len(newR.Micro))
+	for _, m := range newR.Micro {
+		newSeen[m.Name] = true
+		om, ok := oldMicro[m.Name]
+		if !ok {
+			c.OnlyNew = append(c.OnlyNew, m.Name)
+			continue
+		}
+		c.add("micro/"+m.Name+"/ns_per_op", om.NsPerOp, m.NsPerOp, false, opts.Threshold)
+		c.add("micro/"+m.Name+"/allocs_per_op", float64(om.AllocsPerOp), float64(m.AllocsPerOp), false, opts.Threshold)
+	}
+	for _, m := range oldR.Micro {
+		if !newSeen[m.Name] {
+			c.OnlyOld = append(c.OnlyOld, m.Name)
+		}
+	}
+	sort.Strings(c.OnlyOld)
+	sort.Strings(c.OnlyNew)
+	return c
+}
+
+// addLatency compares the three gated percentiles of one distribution.
+func (c *Comparison) addLatency(prefix string, oldS, newS LatencySummary, threshold float64) {
+	c.add(prefix+"/p50", oldS.P50, newS.P50, false, threshold)
+	c.add(prefix+"/p95", oldS.P95, newS.P95, false, threshold)
+	c.add(prefix+"/p99", oldS.P99, newS.P99, false, threshold)
+}
+
+// add classifies one metric. higherIsBetter orients the delta so positive
+// always means worse.
+func (c *Comparison) add(metric string, oldV, newV float64, higherIsBetter bool, threshold float64) {
+	d := MetricDelta{Metric: metric, Old: oldV, New: newV}
+	// A zero baseline cannot anchor a relative delta (allocs/op is often
+	// exactly 0): any appearance is a regression, staying at zero is clean.
+	switch {
+	case oldV == 0 && newV == 0:
+		d.Delta = 0
+	case oldV == 0:
+		d.Delta = 1 // worse by construction; threshold bands assume < 1
+		if higherIsBetter {
+			d.Delta = -1
+		}
+	default:
+		d.Delta = (newV - oldV) / oldV
+		if higherIsBetter {
+			d.Delta = -d.Delta
+		}
+	}
+	switch {
+	case d.Delta > threshold:
+		d.Verdict = VerdictRegression
+	case d.Delta < -threshold:
+		d.Verdict = VerdictImprovement
+	default:
+		d.Verdict = VerdictWithinNoise
+	}
+	c.Deltas = append(c.Deltas, d)
+}
+
+// envMismatch lists the fingerprint fields that differ between two
+// environments (recording time and git SHA excluded — those are expected
+// to differ between trajectory points).
+func envMismatch(a, b Env) []string {
+	var out []string
+	if a.GOOS != b.GOOS {
+		out = append(out, fmt.Sprintf("goos %s vs %s", a.GOOS, b.GOOS))
+	}
+	if a.GOARCH != b.GOARCH {
+		out = append(out, fmt.Sprintf("goarch %s vs %s", a.GOARCH, b.GOARCH))
+	}
+	if a.NumCPU != b.NumCPU {
+		out = append(out, fmt.Sprintf("num_cpu %d vs %d", a.NumCPU, b.NumCPU))
+	}
+	if a.GoVersion != b.GoVersion {
+		out = append(out, fmt.Sprintf("go_version %s vs %s", a.GoVersion, b.GoVersion))
+	}
+	return out
+}
+
+// WriteText renders the comparison for humans: env warnings first, then
+// one line per metric with the oriented delta, then the verdict tally.
+func (c *Comparison) WriteText(w io.Writer) {
+	for _, m := range c.EnvMismatch {
+		fmt.Fprintf(w, "WARNING: environment mismatch: %s — deltas below are weather, not signal\n", m)
+	}
+	var reg, imp, noise int
+	for _, d := range c.Deltas {
+		mark := " "
+		switch d.Verdict {
+		case VerdictRegression:
+			mark, reg = "✗", reg+1
+		case VerdictImprovement:
+			mark, imp = "✓", imp+1
+		default:
+			noise++
+		}
+		fmt.Fprintf(w, "%s %-42s %14.4g -> %14.4g  %+7.1f%%  %s\n",
+			mark, d.Metric, d.Old, d.New, 100*d.Delta, d.Verdict)
+	}
+	for _, name := range c.OnlyOld {
+		fmt.Fprintf(w, "  %-42s removed (present only in old report)\n", "micro/"+name)
+	}
+	for _, name := range c.OnlyNew {
+		fmt.Fprintf(w, "  %-42s added (present only in new report)\n", "micro/"+name)
+	}
+	fmt.Fprintf(w, "%d regression(s), %d improvement(s), %d within noise\n", reg, imp, noise)
+}

@@ -1,0 +1,42 @@
+package perf
+
+import (
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// CaptureEnv stamps the environment fingerprint for a report: numbers are
+// only comparable against numbers from the same fingerprint, so every
+// report records where it came from.
+func CaptureEnv() Env {
+	return Env{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		GitSHA:    gitSHA(),
+		UnixTime:  time.Now().Unix(),
+	}
+}
+
+// gitSHA resolves the commit the binary was built from: the embedded VCS
+// stamp when the build has one, otherwise the working tree's HEAD (the
+// common case under `go run` and `go test`, which do not stamp). Best
+// effort — outside a checkout it returns "".
+func gitSHA() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,231 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/journal"
+	"nimbus/internal/loadgen"
+	"nimbus/internal/market"
+	"nimbus/internal/ml"
+	"nimbus/internal/pricing"
+	"nimbus/internal/rng"
+	"nimbus/internal/server"
+	"nimbus/internal/telemetry"
+)
+
+// LoadOptions configures the in-process buy-path measurement.
+type LoadOptions struct {
+	// Concurrency is the closed-loop buyer count (default 8).
+	Concurrency int
+	// Duration bounds the run when Count is zero (default 5s).
+	Duration time.Duration
+	// Count runs an exact request total instead of a duration.
+	Count int
+	// Seed drives the market build and the replayable traffic mix
+	// (default 42).
+	Seed int64
+	// Rows sizes the stand-in dataset backing the offering (default 250).
+	Rows int
+	// Grid and Samples size the listed price–error curve (defaults 15
+	// and 60, the integration-test shape).
+	Grid    int
+	Samples int
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *LoadOptions) setDefaults() {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Duration <= 0 && o.Count <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Rows <= 0 {
+		o.Rows = 250
+	}
+	if o.Grid <= 0 {
+		o.Grid = 15
+	}
+	if o.Samples <= 0 {
+		o.Samples = 60
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// RunLoad measures the buy path end to end: it lists a seeded one-offering
+// market on a broker whose sale path appends to a write-ahead journal in a
+// temp dir (the production finalize path, not a stripped-down one), serves
+// it through the full middleware + telemetry stack on a loopback listener,
+// drives it with internal/loadgen uncorked, and reads the server-side
+// latency back from the buy route's telemetry histogram.
+func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
+	opts.setDefaults()
+
+	// Seeded market: the same stand-in dataset and listing shape the
+	// integration tests use, so trajectory points measure a stable market.
+	d, err := dataset.StandIn("CASP", dataset.GenConfig{Rows: opts.Rows, Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("generating dataset: %w", err)
+	}
+	pair, err := dataset.NewPair(d, rng.New(opts.Seed+1))
+	if err != nil {
+		return nil, err
+	}
+	seller, err := market.NewSeller(pair, market.Research{
+		Value:  func(e float64) float64 { return 80 / (1 + e) },
+		Demand: func(e float64) float64 { return 1 },
+	})
+	if err != nil {
+		return nil, err
+	}
+	broker := market.NewBroker(opts.Seed + 2)
+	reg := telemetry.NewRegistry()
+	broker.SetTelemetry(reg)
+	opts.Logf("perf: listing offering (rows=%d grid=%d samples=%d)...", opts.Rows, opts.Grid, opts.Samples)
+	if _, err := broker.List(market.OfferingConfig{
+		Seller:  seller,
+		Model:   ml.LinearRegression{Ridge: 1e-3},
+		Grid:    pricing.DefaultGrid(opts.Grid),
+		Samples: opts.Samples,
+		Seed:    opts.Seed + 3,
+	}); err != nil {
+		return nil, fmt.Errorf("listing offering: %w", err)
+	}
+
+	// Journal in a temp dir: every measured sale pays the real durability
+	// cost (append + interval fsync), as production does.
+	dir, err := os.MkdirTemp("", "nimbus-perf-journal-")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		//lint:ignore no-dropped-error the journal dir is throwaway measurement state; a leaked temp dir is not worth failing a report over
+		os.RemoveAll(dir)
+	}()
+	wal, err := journal.Open(dir, journal.Options{Telemetry: reg})
+	if err != nil {
+		return nil, fmt.Errorf("opening journal: %w", err)
+	}
+	broker.SetJournal(wal)
+
+	// Full serving stack on a loopback listener: middleware + telemetry,
+	// no rate limiter — the harness measures the buy path, not a throttle.
+	quiet := func(string, ...any) {}
+	handler := server.WithMiddleware(
+		server.New(broker, server.WithLogger(quiet), server.WithTelemetry(reg)), quiet, reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		closeJournal(wal, opts.Logf)
+		return nil, err
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	cfg := loadgen.Config{
+		Concurrency: opts.Concurrency,
+		Duration:    opts.Duration,
+		Count:       opts.Count,
+		Seed:        opts.Seed,
+		Rate:        0, // uncorked: measure the serving stack, not the pacer
+	}
+	client := &server.Client{
+		BaseURL: "http://" + ln.Addr().String(),
+		HTTPClient: &http.Client{
+			Timeout:   10 * time.Second,
+			Transport: &http.Transport{MaxIdleConnsPerHost: opts.Concurrency},
+		},
+	}
+	opts.Logf("perf: driving load (c=%d duration=%v count=%d seed=%d)...",
+		cfg.Concurrency, cfg.Duration, cfg.Count, cfg.Seed)
+	rep, runErr := loadgen.Run(ctx, client, cfg)
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		opts.Logf("perf: harness server shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		opts.Logf("perf: harness server: %v", err)
+	}
+	closeJournal(wal, opts.Logf)
+	if runErr != nil {
+		return nil, runErr
+	}
+	if rep.Errors > 0 {
+		// Failed requests would poison the latency distribution; the
+		// harness generates only satisfiable purchases, so any error is a
+		// harness bug, not a perf signal.
+		return nil, fmt.Errorf("load run hit %d errors (%d non-2xx) out of %d requests; refusing to record a poisoned trajectory point",
+			rep.Errors, rep.NonOK, rep.Requests)
+	}
+
+	res := LoadResultFrom(rep, cfg)
+	// Server-side view: the buy route's latency histogram, read with one
+	// consistent snapshot — exactly the series a production scrape exports.
+	h := reg.Histogram("nimbus_http_request_seconds", nil, "route", "POST /api/v1/buy")
+	qs := h.Quantiles(0.50, 0.95, 0.99)
+	res.Server = &LatencySummary{P50: qs[0], P95: qs[1], P99: qs[2]}
+	return &res, nil
+}
+
+// closeJournal flushes and closes the harness journal; failures are logged
+// only — the measurement is already taken and the journal is throwaway.
+func closeJournal(wal *journal.Journal, logf func(string, ...any)) {
+	if err := wal.Close(); err != nil {
+		logf("perf: closing journal: %v", err)
+	}
+}
+
+// RunOptions configures a full trajectory recording.
+type RunOptions struct {
+	Load LoadOptions
+	// Micro configures the kernel sweep.
+	Micro MicroOptions
+	// Bench is the trajectory point number stamped on the report (the n
+	// in BENCH_<n>.json); 0 for ad-hoc runs.
+	Bench int
+	// GeneratedBy records provenance, e.g. "nimbus-bench -perf run".
+	GeneratedBy string
+}
+
+// Run records one full trajectory point: environment fingerprint, the
+// in-process load measurement, and the kernel sweep.
+func Run(ctx context.Context, opts RunOptions) (*Report, error) {
+	r := &Report{
+		SchemaVersion: SchemaVersion,
+		Bench:         opts.Bench,
+		GeneratedBy:   opts.GeneratedBy,
+		Env:           CaptureEnv(),
+	}
+	load, err := RunLoad(ctx, opts.Load)
+	if err != nil {
+		return nil, fmt.Errorf("load harness: %w", err)
+	}
+	r.Load = load
+	if opts.Load.Logf != nil {
+		opts.Load.Logf("perf: load done (%d requests, %.0f qps); running %d kernel benches...",
+			load.Requests, load.QPS, len(Microbenches()))
+	}
+	micro, err := RunMicro(opts.Micro)
+	if err != nil {
+		return nil, fmt.Errorf("microbenches: %w", err)
+	}
+	r.Micro = micro
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("harness produced an invalid report: %w", err)
+	}
+	return r, nil
+}

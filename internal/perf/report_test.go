@@ -1,0 +1,170 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenReport is the fixed report the schema golden test pins. Every field
+// of every section is populated so an accidental json-tag rename, type
+// change or dropped field shows up as a golden diff.
+func goldenReport() *Report {
+	return &Report{
+		SchemaVersion: 1,
+		Bench:         6,
+		GeneratedBy:   "nimbus-bench -perf run",
+		Env: Env{
+			GOOS:      "linux",
+			GOARCH:    "amd64",
+			NumCPU:    8,
+			GoVersion: "go1.22.0",
+			GitSHA:    "0123456789abcdef0123456789abcdef01234567",
+			UnixTime:  1754550000,
+		},
+		Load: &LoadResult{
+			Concurrency:    8,
+			Seed:           42,
+			Requests:       4000,
+			Errors:         0,
+			ElapsedSeconds: 5.002,
+			QPS:            799.68,
+			Revenue:        123456.78,
+			Client: LatencySummary{
+				Min: 0.0004, Mean: 0.0021, P50: 0.0018, P95: 0.0042, P99: 0.0077, Max: 0.031,
+			},
+			Server: &LatencySummary{P50: 0.0017, P95: 0.0040, P99: 0.0074},
+		},
+		Micro: []MicroResult{
+			{Name: "opt/dp/n=100", NsPerOp: 152340.5, AllocsPerOp: 12, BytesPerOp: 82432, Iterations: 7890},
+			{Name: "noise/gaussian/d=90", NsPerOp: 2210.25, AllocsPerOp: 1, BytesPerOp: 768, Iterations: 543210},
+		},
+	}
+}
+
+// TestReportGoldenRoundTrip pins the wire format: the golden JSON on disk
+// is exactly what WriteFile emits for the golden report, and reading it
+// back reproduces the struct value for value. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/perf -run Golden — and treat any diff
+// as a schema change that needs a SchemaVersion bump decision.
+func TestReportGoldenRoundTrip(t *testing.T) {
+	golden := filepath.Join("testdata", "golden_report.json")
+	rep := goldenReport()
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteFile(golden); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden missing (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if string(got) != string(want) {
+		t.Errorf("marshaled report diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	back, err := ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rep) {
+		t.Errorf("round-trip mismatch:\ngot  %+v\nwant %+v", back, rep)
+	}
+}
+
+// TestValidateRejects enumerates the schema gate's refusals.
+func TestValidateRejects(t *testing.T) {
+	mutate := func(f func(*Report)) *Report {
+		r := goldenReport()
+		f(r)
+		return r
+	}
+	for _, tc := range []struct {
+		name string
+		rep  *Report
+		want string
+	}{
+		{"nil", nil, "nil report"},
+		{"wrong version", mutate(func(r *Report) { r.SchemaVersion = 99 }), "schema_version"},
+		{"no goos", mutate(func(r *Report) { r.Env.GOOS = "" }), "fingerprint"},
+		{"no cpus", mutate(func(r *Report) { r.Env.NumCPU = 0 }), "num_cpu"},
+		{"empty", mutate(func(r *Report) { r.Load = nil; r.Micro = nil }), "neither"},
+		{"no requests", mutate(func(r *Report) { r.Load.Requests = 0 }), "requests"},
+		{"zero qps", mutate(func(r *Report) { r.Load.QPS = 0 }), "qps"},
+		{"percentile order", mutate(func(r *Report) { r.Load.Client.P95 = r.Load.Client.P50 / 2 }), "monotone"},
+		{"dup micro", mutate(func(r *Report) { r.Micro = append(r.Micro, r.Micro[0]) }), "duplicate"},
+		{"unnamed micro", mutate(func(r *Report) { r.Micro[0].Name = "" }), "empty name"},
+		{"zero ns", mutate(func(r *Report) { r.Micro[0].NsPerOp = 0 }), "ns_per_op"},
+		{"zero iterations", mutate(func(r *Report) { r.Micro[0].Iterations = 0 }), "iterations"},
+	} {
+		err := tc.rep.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted an invalid report", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	if err := goldenReport().Validate(); err != nil {
+		t.Errorf("golden report invalid: %v", err)
+	}
+}
+
+// TestReadFileRejects covers the file-level failure paths.
+func TestReadFileRejects(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("ReadFile accepted a missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("ReadFile accepted malformed JSON")
+	}
+	invalid := filepath.Join(t.TempDir(), "invalid.json")
+	if err := os.WriteFile(invalid, []byte(`{"schema_version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(invalid); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Errorf("ReadFile err = %v, want schema_version refusal", err)
+	}
+}
+
+// TestCommittedTrajectoryPoint validates the BENCH_<n>.json actually
+// committed at the repository root — the trajectory's recorded points must
+// always parse under the current schema.
+func TestCommittedTrajectoryPoint(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no BENCH_*.json at the repository root; the perf trajectory must have at least one recorded point")
+	}
+	for _, path := range matches {
+		rep, err := ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if rep.Bench <= 0 {
+			t.Errorf("%s: bench number %d, want positive", path, rep.Bench)
+		}
+		if rep.Load == nil || len(rep.Micro) == 0 {
+			t.Errorf("%s: trajectory points must record both load and micro sections", path)
+		}
+	}
+}

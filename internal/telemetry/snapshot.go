@@ -71,9 +71,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	return HistogramSnapshot{
 		Count:   total,
 		Sum:     h.Sum(),
-		P50:     h.Quantile(0.50),
-		P95:     h.Quantile(0.95),
-		P99:     h.Quantile(0.99),
+		P50:     h.quantileFrom(counts, total, 0.50),
+		P95:     h.quantileFrom(counts, total, 0.95),
+		P99:     h.quantileFrom(counts, total, 0.99),
 		Buckets: buckets,
 	}
 }
