@@ -57,6 +57,8 @@ func perfRun(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		duration = fs.Duration("duration", 5*time.Second, "load phase length (ignored when -n is set)")
 		count    = fs.Int("n", 0, "exact load request count (0 = run for -duration)")
 		seed     = fs.Int64("seed", 42, "seed for the market build and the replayable traffic mix")
+		offers   = fs.Int("offerings", 1, "offerings listed by the load harness (more offerings spread purchases across broker shards)")
+		jsync    = fs.String("journal-sync", "group", "harness journal fsync policy: always, group, interval or never")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,6 +73,8 @@ func perfRun(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Duration:    *duration,
 			Count:       *count,
 			Seed:        *seed,
+			Offerings:   *offers,
+			Sync:        *jsync,
 			Logf: func(format string, a ...any) {
 				fmt.Fprintf(stderr, format+"\n", a...)
 			},

@@ -22,9 +22,10 @@
 // recovery refuse rather than silently drop sales (ErrCorrupt).
 //
 // Durability is configurable per deployment via SyncPolicy: fsync every
-// append (no completed sale is ever lost), fsync on an interval (bounded
-// loss window, near-zero fsync amplification), or leave flushing to the
-// OS (benchmarks).
+// append (no completed sale is ever lost), group commit (the same
+// guarantee, with concurrent appenders sharing one frame write and one
+// fsync), fsync on an interval (bounded loss window, near-zero fsync
+// amplification), or leave flushing to the OS (benchmarks).
 package journal
 
 import (
@@ -55,6 +56,13 @@ const (
 	// process dying is survivable, not the machine; meant for benchmarks
 	// and tests.
 	SyncNever
+	// SyncGroup is group commit: every append is acknowledged only after
+	// an fsync covering its record returns — SyncAlways durability — but
+	// concurrent appenders batch into a single frame-buffer write and a
+	// single fsync, so the flush rate is one per batch, not one per
+	// record. An uncontended append degrades to exactly the SyncAlways
+	// path (a batch of one).
+	SyncGroup
 )
 
 // ParseSyncPolicy maps the CLI spellings onto a policy.
@@ -66,8 +74,10 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 		return SyncInterval, nil
 	case "never":
 		return SyncNever, nil
+	case "group":
+		return SyncGroup, nil
 	}
-	return 0, fmt.Errorf("journal: unknown sync policy %q (want always, interval or never)", s)
+	return 0, fmt.Errorf("journal: unknown sync policy %q (want always, group, interval or never)", s)
 }
 
 func (p SyncPolicy) String() string {
@@ -76,6 +86,8 @@ func (p SyncPolicy) String() string {
 		return "always"
 	case SyncInterval:
 		return "interval"
+	case SyncGroup:
+		return "group"
 	default:
 		return "never"
 	}
@@ -126,9 +138,21 @@ type Journal struct {
 	tailSeq  uint64 // guarded by mu
 	tailSize int64  // guarded by mu
 	dirty    bool   // guarded by mu; bytes written since the last fsync
+	armed    bool   // guarded by mu; an interval flush countdown is pending
 	failed   error  // guarded by mu; sticky: a failed write/sync poisons the journal until reopen
 	closed   bool   // guarded by mu
 	buf      []byte // guarded by mu; frame scratch, reused across appends
+
+	// group is the SyncGroup batching seam; it has its own lock so a
+	// batch can accumulate arrivals while the previous batch's leader is
+	// inside the fsync under mu.
+	group groupState
+
+	// flushc arms the interval flush countdown: the first append to dirty
+	// the tail sends one token, and syncLoop flushes SyncEvery later — the
+	// durability window is anchored to the append itself, and an idle
+	// journal costs no timer wakeups.
+	flushc chan struct{}
 
 	// Recovery state captured at Open, consumed by Snapshot/Replay.
 	replay   []segmentInfo
@@ -162,6 +186,8 @@ type journalTelemetry struct {
 	recoveredRecs  *telemetry.Counter
 	truncatedBytes *telemetry.Counter
 	segments       *telemetry.Gauge
+	groupCommits   *telemetry.Counter
+	groupBatchRecs *telemetry.Histogram
 }
 
 func (j *Journal) initTelemetry(reg *telemetry.Registry) {
@@ -174,6 +200,8 @@ func (j *Journal) initTelemetry(reg *telemetry.Registry) {
 	reg.Help("nimbus_journal_recovered_records_total", "Records replayed from the journal at startup.")
 	reg.Help("nimbus_journal_recovered_truncated_bytes_total", "Torn-tail bytes truncated during recovery.")
 	reg.Help("nimbus_journal_segments", "Segment files currently on disk.")
+	reg.Help("nimbus_journal_group_commits_total", "Group-commit batches flushed under the group sync policy.")
+	reg.Help("nimbus_journal_group_batch_records", "Records per group-commit batch.")
 	j.tel = journalTelemetry{
 		appendLatency:  reg.Histogram("nimbus_journal_append_seconds", nil),
 		appends:        reg.Counter("nimbus_journal_appends_total"),
@@ -184,6 +212,8 @@ func (j *Journal) initTelemetry(reg *telemetry.Registry) {
 		recoveredRecs:  reg.Counter("nimbus_journal_recovered_records_total"),
 		truncatedBytes: reg.Counter("nimbus_journal_recovered_truncated_bytes_total"),
 		segments:       reg.Gauge("nimbus_journal_segments"),
+		groupCommits:   reg.Counter("nimbus_journal_group_commits_total"),
+		groupBatchRecs: reg.Histogram("nimbus_journal_group_batch_records", []float64{1, 2, 4, 8, 16, 32, 64, 128}),
 	}
 }
 
@@ -207,6 +237,7 @@ func Open(dir string, opts Options) (*Journal, error) {
 		return nil, fmt.Errorf("journal: creating %s: %w", dir, err)
 	}
 	j := &Journal{dir: dir, opts: opts, fs: opts.FS}
+	j.group.cond = sync.NewCond(&j.group.mu)
 	j.initTelemetry(opts.Telemetry)
 	if err := j.recover(); err != nil {
 		return nil, err
@@ -225,6 +256,7 @@ func Open(dir string, opts Options) (*Journal, error) {
 	}
 	if opts.Sync == SyncInterval {
 		j.done = make(chan struct{})
+		j.flushc = make(chan struct{}, 1)
 		j.wg.Add(1)
 		go j.syncLoop()
 	}
@@ -243,32 +275,97 @@ func (j *Journal) segmentsOnDisk() int {
 	return n
 }
 
-// Append writes one record, making it durable according to the sync
-// policy, and returns once the record is on the tail segment. Appends are
-// atomic with respect to recovery: a crash mid-append loses at most this
-// record, never an earlier one.
-func (j *Journal) Append(rec []byte) error {
+// checkRecord validates one record against the append preconditions.
+func checkRecord(rec []byte) error {
 	if len(rec) == 0 {
 		return errors.New("journal: empty record")
 	}
 	if int64(len(rec)) > MaxRecordSize {
 		return fmt.Errorf("journal: record of %d bytes exceeds MaxRecordSize", len(rec))
 	}
+	return nil
+}
+
+// Append writes one record, making it durable according to the sync
+// policy, and returns once the record is on the tail segment. Appends are
+// atomic with respect to recovery: a crash mid-append loses at most this
+// record, never an earlier one.
+func (j *Journal) Append(rec []byte) error {
+	if err := checkRecord(rec); err != nil {
+		return err
+	}
 	start := time.Now()
-	j.mu.Lock()
-	defer j.mu.Unlock()
+	var err error
+	if j.opts.Sync == SyncGroup {
+		err = j.groupCommit([][]byte{rec})
+	} else {
+		j.mu.Lock()
+		err = j.writeLocked([][]byte{rec}, j.opts.Sync == SyncAlways)
+		j.mu.Unlock()
+	}
+	if err != nil {
+		return err
+	}
+	j.tel.appendLatency.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// AppendMany writes a run of records as one frame-buffer write, making
+// them durable according to the sync policy before returning. The batch
+// is atomic against failure: if the write cannot complete, the tail is
+// truncated back so none of the batch's frames remain on disk (a torn
+// tail a crash leaves behind is still recovered to a prefix of the
+// batch). Under SyncGroup the whole run joins the in-flight batch as a
+// unit, preserving its internal order.
+func (j *Journal) AppendMany(recs [][]byte) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	for _, rec := range recs {
+		if err := checkRecord(rec); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	var err error
+	if j.opts.Sync == SyncGroup {
+		err = j.groupCommit(recs)
+	} else {
+		j.mu.Lock()
+		err = j.writeLocked(recs, j.opts.Sync == SyncAlways)
+		j.mu.Unlock()
+	}
+	if err != nil {
+		return err
+	}
+	j.tel.appendLatency.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// writeLocked frames recs into one buffer, writes it to the tail in a
+// single call, optionally fsyncs, and rotates a full segment. It is the
+// shared core of every append path. Caller holds j.mu.
+//
+//lint:holds mu
+func (j *Journal) writeLocked(recs [][]byte, fsync bool) error {
 	if j.closed {
 		return ErrClosed
 	}
 	if j.failed != nil {
 		return fmt.Errorf("journal: poisoned by earlier failure: %w", j.failed)
 	}
-	j.buf = appendFrame(j.buf[:0], rec)
+	j.buf = j.buf[:0]
+	var payload int
+	for _, rec := range recs {
+		j.buf = appendFrame(j.buf, rec)
+		payload += len(rec)
+	}
 	if _, err := j.tail.Write(j.buf); err != nil {
 		// The write may have landed partially, leaving a torn frame in
-		// the middle of a live file. Try to cut it back off; if that also
-		// fails, poison the journal — appending after a torn frame would
-		// manufacture exactly the mid-stream corruption recovery refuses.
+		// the middle of a live file. Try to cut the whole batch back off;
+		// if that also fails, poison the journal — appending after a torn
+		// frame would manufacture exactly the mid-stream corruption
+		// recovery refuses.
 		if terr := j.tail.Truncate(j.tailSize); terr != nil {
 			j.failed = fmt.Errorf("append failed (%v) and truncate-back failed (%v)", err, terr)
 		}
@@ -276,26 +373,106 @@ func (j *Journal) Append(rec []byte) error {
 	}
 	j.tailSize += int64(len(j.buf))
 	j.dirty = true
-	if j.opts.Sync == SyncAlways {
+	if fsync {
 		if err := j.tail.Sync(); err != nil {
 			j.failed = fmt.Errorf("fsync failed: %w", err)
 			return fmt.Errorf("journal: append fsync: %w", err)
 		}
 		j.dirty = false
 		j.tel.fsyncs.Inc()
+	} else if j.opts.Sync == SyncInterval {
+		j.armFlushLocked()
 	}
 	if j.tailSize >= j.opts.SegmentBytes {
 		if err := j.rotateLocked(); err != nil {
-			// The record itself is safely in the sealed segment; only the
-			// rotation failed. Poison so the operator finds out.
+			// The records themselves are safely in the sealed segment;
+			// only the rotation failed. Poison so the operator finds out.
 			j.failed = err
 			return fmt.Errorf("journal: rotating segment: %w", err)
 		}
 	}
-	j.tel.appends.Inc()
-	j.tel.appendBytes.Add(uint64(len(rec)))
-	j.tel.appendLatency.Observe(time.Since(start).Seconds())
+	j.tel.appends.Add(uint64(len(recs)))
+	j.tel.appendBytes.Add(uint64(payload))
 	return nil
+}
+
+// groupState is the SyncGroup batching seam. Arrivals append their
+// records to the current batch; the first arrival with no flush in
+// flight becomes the batch's leader, steals it, and performs one
+// writeLocked(fsync) for everyone. Waiters are woken when their batch's
+// flush completes and a new leader self-promotes from the next batch, so
+// no background goroutine is needed and an abandoned batch cannot exist
+// (every batch contains at least the caller that created it).
+type groupState struct {
+	mu       sync.Mutex
+	cond     *sync.Cond  // signals flush completion; waiters re-check their batch
+	cur      *groupBatch // guarded by mu; the batch accumulating arrivals
+	flushing bool        // guarded by mu; a leader is inside write+fsync
+}
+
+// groupBatch is one group-commit unit. Its fields are owned by the
+// groupState lock until the batch is stolen by its leader; recs is then
+// read only by that leader.
+type groupBatch struct {
+	recs [][]byte
+	done bool
+	err  error
+}
+
+// groupCommit appends recs to the forming batch and returns once a
+// flush covering them has completed — the caller's records are on stable
+// storage when this returns nil, exactly the SyncAlways guarantee.
+func (j *Journal) groupCommit(recs [][]byte) error {
+	g := &j.group
+	g.mu.Lock()
+	if g.cur == nil {
+		g.cur = &groupBatch{}
+	}
+	b := g.cur
+	b.recs = append(b.recs, recs...)
+	for g.flushing && !b.done {
+		g.cond.Wait()
+	}
+	if b.done {
+		// Another caller led our batch while we waited; its verdict is ours.
+		err := b.err
+		g.mu.Unlock()
+		return err
+	}
+	// No flush in flight and our batch not yet flushed: lead it. New
+	// arrivals start the next batch and wait for us to finish.
+	g.flushing = true
+	g.cur = nil
+	g.mu.Unlock()
+
+	j.mu.Lock()
+	err := j.writeLocked(b.recs, true)
+	j.mu.Unlock()
+	j.tel.groupCommits.Inc()
+	j.tel.groupBatchRecs.Observe(float64(len(b.recs)))
+
+	g.mu.Lock()
+	b.done, b.err = true, err
+	g.flushing = false
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	return err
+}
+
+// armFlushLocked starts one SyncEvery countdown if none is pending, so
+// dirty bytes are flushed at most SyncEvery after the append that first
+// dirtied the tail. Caller holds j.mu.
+//
+//lint:holds mu
+func (j *Journal) armFlushLocked() {
+	if j.armed || j.flushc == nil {
+		return
+	}
+	j.armed = true
+	select {
+	case j.flushc <- struct{}{}:
+	default:
+	}
 }
 
 // rotateLocked seals the tail segment (fsync + close) and starts the next
@@ -365,17 +542,30 @@ func (j *Journal) syncLocked() error {
 	return nil
 }
 
-// syncLoop drives the interval policy: flush dirty appends once per tick.
+// syncLoop drives the interval policy. The countdown is armed by the
+// first append that dirties a clean tail (armFlushLocked sends one
+// flushc token) and fires SyncEvery later, so the durability window is
+// anchored to the append itself: a burst followed by idleness is flushed
+// at most SyncEvery after its first record, and an idle journal costs no
+// timer wakeups at all. A free-running ticker would instead let dirty
+// bytes written just after a tick sit for up to a full extra period, and
+// kept waking an idle process.
 func (j *Journal) syncLoop() {
 	defer j.wg.Done()
-	t := time.NewTicker(j.opts.SyncEvery)
+	t := time.NewTimer(j.opts.SyncEvery)
+	if !t.Stop() {
+		<-t.C
+	}
 	defer t.Stop()
 	for {
 		select {
 		case <-j.done:
 			return
+		case <-j.flushc:
+			t.Reset(j.opts.SyncEvery)
 		case <-t.C:
 			j.mu.Lock()
+			j.armed = false
 			if !j.closed {
 				// syncLocked records a failure in j.failed, which the
 				// next Append reports; the loop itself has no caller to

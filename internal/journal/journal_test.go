@@ -242,7 +242,7 @@ func TestRepeatedCompaction(t *testing.T) {
 }
 
 func TestSyncPolicyParsing(t *testing.T) {
-	for _, s := range []string{"always", "interval", "never"} {
+	for _, s := range []string{"always", "group", "interval", "never"} {
 		p, err := ParseSyncPolicy(s)
 		if err != nil {
 			t.Fatal(err)

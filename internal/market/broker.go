@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nimbus/internal/pricing"
@@ -17,28 +18,102 @@ import (
 // optimal instance — no retraining per sale, which is what makes the
 // marketplace real-time (Section 1, "Our Solution").
 //
-// A Broker is safe for concurrent use.
+// A Broker is safe for concurrent use, and built so purchases scale with
+// offering count: the ledger is partitioned into brokerShards shards keyed
+// by offering hash, so sales of different offerings never share a lock,
+// and the read-heavy browse path (Menu, Offering, saleTerms) is lock-free —
+// it loads one atomically-published immutable snapshot.
 type Broker struct {
-	mu         sync.RWMutex
-	offerings  map[string]*Offering // guarded by mu
-	src        *rng.Locked
-	sales      []Purchase // guarded by mu
-	commission float64    // guarded by mu
+	// menu is the browse-path state: offerings, the sorted menu, the
+	// commission rate and the journal handle, published as an immutable
+	// snapshot. Readers pay one atomic load; writers clone-and-swap under
+	// regmu.
+	menu atomic.Pointer[menuSnapshot]
 
-	// jmu serializes the journal-append + ledger-append pair, so the
-	// on-disk record order is exactly the ledger order. When both locks
-	// are needed, jmu comes first:
-	//
-	//lint:lockorder jmu < mu
-	jmu     sync.Mutex
-	journal SaleJournal // guarded by mu
+	// regmu serializes snapshot writers (List, SetCommission, SetJournal,
+	// SetTelemetry). Readers never take it.
+	regmu sync.Mutex
+
+	// shards partition the sale ledger and its running aggregates by
+	// offering hash; see Broker.shard.
+	shards [brokerShards]shard
 
 	// tel is the broker's sale-path instrumentation; brokerTelemetry's
 	// handles are nil-safe, so an uninstrumented broker pays only nil
 	// checks on the hot path. Deliberately not lock-guarded: SetTelemetry
-	// runs at startup before the broker serves (the swap still happens
-	// under mu only to order it against a concurrent List).
+	// runs at startup before the broker serves.
 	tel brokerTelemetry
+}
+
+// brokerShards is the ledger partition count. Offerings hash onto shards,
+// so the worst case — every buyer hammering one offering — degrades to the
+// old single-lock behavior for that offering only, while a multi-offering
+// mix spreads across independent locks, journal queues and noise sources.
+const brokerShards = 16
+
+// shard is one ledger partition: the sales of the offerings that hash
+// here, their running financial aggregates, a noise source, and the
+// commit queue that group-orders journal appends with ledger appends.
+type shard struct {
+	mu      sync.RWMutex
+	sales   []Purchase         // guarded by mu
+	payouts map[string]float64 // guarded by mu; seller proceeds per offering
+	fees    float64            // guarded by mu; commission running total
+	revenue float64            // guarded by mu; gross running total
+
+	// src is this shard's sale-time noise source. Per-shard streams keep
+	// draws replayable (seeded at NewBroker) without a global rng lock.
+	src *rng.Locked
+
+	// jmu guards the shard's commit queue. The queue exists so that the
+	// write-ahead pair (journal append, then ledger append) keeps one
+	// order per shard without holding any lock across the journal I/O:
+	// concurrent sales enqueue under jmu, one caller becomes the batch's
+	// leader, journals the whole batch with jmu released, then appends the
+	// batch to the ledger in enqueue order. jmu is never held together
+	// with mu, but the declared order documents that jmu work precedes mu
+	// work on the sale path:
+	//
+	//lint:lockorder jmu < mu
+	jmu      sync.Mutex
+	jcond    *sync.Cond   // signals batch completion; waiters re-check their batch
+	jbatch   *commitBatch // guarded by jmu; the batch accumulating sales
+	jleading bool         // guarded by jmu; a leader is journaling a batch
+}
+
+// commitBatch is one shard's in-flight group of sales. Its fields are
+// owned by jmu until the batch is stolen by its leader; recs and sales
+// are then read only by that leader until done is set.
+type commitBatch struct {
+	recs  [][]byte
+	sales []Purchase
+	// err is the whole-batch verdict (batch journals are all-or-nothing);
+	// errs holds per-record verdicts from the per-record fallback path.
+	err  error
+	errs []error
+	done bool
+}
+
+// result returns the verdict for the record enqueued at idx.
+func (bt *commitBatch) result(idx int) error {
+	if bt.err != nil {
+		return bt.err
+	}
+	if bt.errs != nil {
+		return bt.errs[idx]
+	}
+	return nil
+}
+
+// menuSnapshot is the immutable browse-path state. A published snapshot
+// is never mutated; writers build a fresh one and swap the pointer, so
+// Menu/Offering/saleTerms never block on a lock and never observe a
+// partial update.
+type menuSnapshot struct {
+	offerings  map[string]*Offering
+	names      []string // sorted menu, precomputed at publish time
+	commission float64
+	journal    SaleJournal
 }
 
 // SaleJournal is the broker's durability hook: an append-only log that
@@ -46,6 +121,16 @@ type Broker struct {
 // in the ledger. internal/journal's *Journal satisfies it directly.
 type SaleJournal interface {
 	Append(rec []byte) error
+}
+
+// BatchJournal is the optional batching extension of SaleJournal: a
+// journal that can make a run of records durable in one call (one frame
+// write, one fsync under the always/group policies). internal/journal's
+// *Journal satisfies it. The shard commit queue uses it to flush a whole
+// batch at once; a plain SaleJournal falls back to per-record appends.
+type BatchJournal interface {
+	SaleJournal
+	AppendMany(recs [][]byte) error
 }
 
 // ErrJournal wraps a failure to make a sale durable. The sale is refused:
@@ -57,20 +142,20 @@ var ErrJournal = errors.New("market: sale journal append failed")
 // append first, then ledger). A nil j turns journaling back off. Set it
 // at startup, after replaying recovered sales.
 func (b *Broker) SetJournal(j SaleJournal) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.journal = j
+	b.regmu.Lock()
+	defer b.regmu.Unlock()
+	next := b.cloneMenu()
+	next.journal = j
+	b.menu.Store(next)
 }
 
-// ReplaySale appends a recovered purchase to the ledger without drawing
-// noise, charging, or re-journaling: it is the restart-time inverse of
-// finalize, fed from the journal. Per-offering sale counters are not
-// re-incremented — telemetry counts this process's sales, the ledger
-// counts all of them.
+// ReplaySale appends a recovered purchase to its shard's ledger — and its
+// running aggregates — without drawing noise, charging, or re-journaling:
+// it is the restart-time inverse of finalize, fed from the journal.
+// Per-offering sale counters are not re-incremented — telemetry counts
+// this process's sales, the ledger counts all of them.
 func (b *Broker) ReplaySale(p Purchase) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.sales = append(b.sales, p)
+	b.shard(p.Offering).record(p)
 }
 
 // brokerTelemetry bundles the broker's metric handles so the hot path
@@ -85,15 +170,15 @@ type brokerTelemetry struct {
 // SetTelemetry points the broker's sale metrics at reg: purchase counts
 // per offering, revenue and commission totals, rejected purchases by
 // reason, and the noise-draw latency histogram. Call before serving; the
-// handles are swapped under the broker lock.
+// handles are swapped under regmu.
 func (b *Broker) SetTelemetry(reg *telemetry.Registry) {
 	reg.Help("nimbus_purchases_total", "Completed sales by offering.")
 	reg.Help("nimbus_revenue_total", "Gross revenue across all sales.")
 	reg.Help("nimbus_broker_fees_total", "Commission kept by the broker.")
 	reg.Help("nimbus_purchase_rejects_total", "Purchases refused, by reason.")
 	reg.Help("nimbus_noise_draw_seconds", "Latency of per-sale noise perturbation.")
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.regmu.Lock()
+	defer b.regmu.Unlock()
 	b.tel = brokerTelemetry{
 		reg:       reg,
 		revenue:   reg.FloatCounter("nimbus_revenue_total"),
@@ -103,7 +188,7 @@ func (b *Broker) SetTelemetry(reg *telemetry.Registry) {
 	// Existing listings get their per-offering sale counter attached now;
 	// later listings get theirs in List. Caching the handle on the
 	// offering keeps registry lookups off the sale path.
-	for _, o := range b.offerings {
+	for _, o := range b.menu.Load().offerings {
 		//lint:ignore telemetry-label-literal offering names come from the seller-curated menu, not from buyer requests, so the series set is bounded by listings
 		o.sales = reg.Counter("nimbus_purchases_total", "offering", o.Name)
 	}
@@ -152,12 +237,49 @@ type Purchase struct {
 var ErrUnknownOffering = errors.New("market: unknown offering")
 
 // NewBroker returns an empty broker whose sale-time noise is seeded with
-// seed.
+// seed. Each shard derives its own stream from the seed, so draws stay
+// replayable without a broker-global rng lock.
 func NewBroker(seed int64) *Broker {
-	return &Broker{
-		offerings: make(map[string]*Offering),
-		src:       rng.NewLocked(seed),
+	b := &Broker{}
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.src = rng.NewLocked(seed + int64(i))
+		sh.jcond = sync.NewCond(&sh.jmu)
+		// No other goroutine can reach b yet, but payouts is mu-guarded, so
+		// honor the contract anyway — one uncontended lock at startup.
+		sh.mu.Lock()
+		sh.payouts = make(map[string]float64)
+		sh.mu.Unlock()
 	}
+	b.menu.Store(&menuSnapshot{offerings: map[string]*Offering{}})
+	return b
+}
+
+// shard maps an offering name onto its ledger partition (FNV-1a).
+func (b *Broker) shard(offering string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(offering); i++ {
+		h ^= uint32(offering[i])
+		h *= 16777619
+	}
+	return &b.shards[h%brokerShards]
+}
+
+// cloneMenu copies the published snapshot so a writer can mutate the copy
+// and publish it. Caller holds regmu (which is what makes read-copy-update
+// safe against concurrent writers).
+func (b *Broker) cloneMenu() *menuSnapshot {
+	cur := b.menu.Load()
+	next := &menuSnapshot{
+		offerings:  make(map[string]*Offering, len(cur.offerings)+1),
+		names:      cur.names,
+		commission: cur.commission,
+		journal:    cur.journal,
+	}
+	for k, v := range cur.offerings {
+		next.offerings[k] = v
+	}
+	return next
 }
 
 // SetCommission sets the broker's cut of every sale as a fraction in
@@ -167,9 +289,11 @@ func (b *Broker) SetCommission(rate float64) error {
 	if rate < 0 || rate >= 1 {
 		return fmt.Errorf("market: commission %v outside [0, 1)", rate)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.commission = rate
+	b.regmu.Lock()
+	defer b.regmu.Unlock()
+	next := b.cloneMenu()
+	next.commission = rate
+	b.menu.Store(next)
 	return nil
 }
 
@@ -180,36 +304,36 @@ func (b *Broker) List(cfg OfferingConfig) (*Offering, error) {
 	if err != nil {
 		return nil, err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, dup := b.offerings[o.Name]; dup {
+	b.regmu.Lock()
+	defer b.regmu.Unlock()
+	next := b.cloneMenu()
+	if _, dup := next.offerings[o.Name]; dup {
 		return nil, fmt.Errorf("market: offering %s already listed", o.Name)
 	}
 	if b.tel.reg != nil {
 		//lint:ignore telemetry-label-literal offering names come from the seller-curated menu, not from buyer requests, so the series set is bounded by listings
 		o.sales = b.tel.reg.Counter("nimbus_purchases_total", "offering", o.Name)
 	}
-	b.offerings[o.Name] = o
-	return o, nil
-}
-
-// Menu returns the listed offering names, sorted.
-func (b *Broker) Menu() []string {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	names := make([]string, 0, len(b.offerings))
-	for name := range b.offerings {
+	next.offerings[o.Name] = o
+	names := make([]string, 0, len(next.offerings))
+	for name := range next.offerings {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	return names
+	next.names = names
+	b.menu.Store(next)
+	return o, nil
 }
 
-// Offering looks up a listed offering by name.
+// Menu returns the listed offering names, sorted. Lock-free: one atomic
+// snapshot load plus a copy of the precomputed menu.
+func (b *Broker) Menu() []string {
+	return append([]string(nil), b.menu.Load().names...)
+}
+
+// Offering looks up a listed offering by name. Lock-free.
 func (b *Broker) Offering(name string) (*Offering, error) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	o, ok := b.offerings[name]
+	o, ok := b.menu.Load().offerings[name]
 	if !ok {
 		return nil, fmt.Errorf("market: %q: %w", name, ErrUnknownOffering)
 	}
@@ -261,19 +385,22 @@ func (b *Broker) buy(offering, loss string, pick func(*pricing.PriceErrorCurve) 
 	return b.finalize(o, loss, pt)
 }
 
-// finalize samples the noisy instance with a fresh noise stream, makes
-// the sale durable (when a journal is set, the encoded purchase is
-// appended and acknowledged before it becomes visible), records it in
-// the ledger and returns the purchase.
+// finalize samples the noisy instance from the offering's shard stream,
+// makes the sale durable (when a journal is set, the encoded purchase is
+// appended and acknowledged before it becomes visible), records it in the
+// shard ledger and returns the purchase. The purchase record is marshalled
+// here, outside every lock — only the journal I/O and the ledger append
+// are serialized, and only within the offering's shard.
 func (b *Broker) finalize(o *Offering, loss string, pt pricing.PriceErrorPoint) (*Purchase, error) {
 	if pt.X <= 0 {
 		err := fmt.Errorf("market: purchase at non-positive quality %v", pt.X)
 		b.recordReject(err)
 		return nil, err
 	}
+	sh := b.shard(o.Name)
 	delta := 1 / pt.X
 	drawStart := time.Now()
-	weights := o.Mechanism.Perturb(o.Optimal, delta, b.src.Split())
+	weights := o.Mechanism.Perturb(o.Optimal, delta, sh.src.Split())
 	b.tel.noiseDraw.Observe(time.Since(drawStart).Seconds())
 	fee, j := b.saleTerms(pt.Price)
 	p := Purchase{
@@ -288,12 +415,17 @@ func (b *Broker) finalize(o *Offering, loss string, pt pricing.PriceErrorPoint) 
 		Weights:        weights,
 	}
 	if j != nil {
-		if err := b.journalAndRecord(j, p); err != nil {
+		rec, err := MarshalSale(p)
+		if err == nil {
+			err = sh.commit(j, rec, p)
+		}
+		if err != nil {
+			err = fmt.Errorf("%w: %v", ErrJournal, err)
 			b.recordReject(err)
 			return nil, err
 		}
 	} else {
-		b.recordSale(p)
+		sh.record(p)
 	}
 	o.sales.Inc()
 	b.tel.revenue.Add(pt.Price)
@@ -302,76 +434,174 @@ func (b *Broker) finalize(o *Offering, loss string, pt pricing.PriceErrorPoint) 
 }
 
 // saleTerms snapshots the commission owed on price and the journal handle
-// under one read lock, so a concurrent SetCommission/SetJournal cannot
-// split the pair.
+// from one menu snapshot, so a concurrent SetCommission/SetJournal cannot
+// split the pair. Lock-free.
 func (b *Broker) saleTerms(price float64) (fee float64, j SaleJournal) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.commission * price, b.journal
+	snap := b.menu.Load()
+	return snap.commission * price, snap.journal
 }
 
-// journalAndRecord makes the sale durable, then visible: write-ahead
-// under jmu, so journal order is ledger order and a sale the journal did
-// not accept never reaches the ledger. jmu is taken before mu, matching
-// the declared lock order.
-func (b *Broker) journalAndRecord(j SaleJournal, p Purchase) error {
-	b.jmu.Lock()
-	defer b.jmu.Unlock()
-	rec, err := MarshalSale(p)
-	if err == nil {
-		err = j.Append(rec)
+// commit runs one sale through the shard's group-commit queue: write-ahead
+// (journal append acknowledged first), then visible (ledger append), with
+// per-shard journal order equal to per-shard ledger order. The sale joins
+// the forming batch; the first caller that finds no flush in flight leads
+// the batch — one journal call and one ledger splice for everyone —
+// while later arrivals accumulate the next batch. No lock is held across
+// the journal I/O.
+func (sh *shard) commit(j SaleJournal, rec []byte, p Purchase) error {
+	sh.jmu.Lock()
+	if sh.jbatch == nil {
+		sh.jbatch = &commitBatch{}
 	}
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrJournal, err)
+	bt := sh.jbatch
+	idx := len(bt.recs)
+	bt.recs = append(bt.recs, rec)
+	bt.sales = append(bt.sales, p)
+	for sh.jleading && !bt.done {
+		sh.jcond.Wait()
 	}
-	b.recordSale(p)
-	return nil
+	if bt.done {
+		// Another caller led our batch while we waited; its verdict on our
+		// record is ours.
+		err := bt.result(idx)
+		sh.jmu.Unlock()
+		return err
+	}
+	// No leader in flight and our batch not yet flushed: lead it.
+	sh.jleading = true
+	sh.jbatch = nil
+	sh.jmu.Unlock()
+
+	sh.flush(j, bt)
+
+	sh.jmu.Lock()
+	bt.done = true
+	sh.jleading = false
+	sh.jcond.Broadcast()
+	sh.jmu.Unlock()
+	return bt.result(idx)
 }
 
-// recordSale appends the purchase to the ledger.
-func (b *Broker) recordSale(p Purchase) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.sales = append(b.sales, p)
+// flush makes one batch durable and, on success, visible. A BatchJournal
+// takes the whole batch in one call with all-or-nothing semantics; the
+// per-record fallback gives each record its own verdict, and the records
+// the journal accepted still enter the ledger in journal order.
+func (sh *shard) flush(j SaleJournal, bt *commitBatch) {
+	if bj, ok := j.(BatchJournal); ok {
+		if err := bj.AppendMany(bt.recs); err != nil {
+			bt.err = err
+			return
+		}
+		sh.recordBatch(bt.sales)
+		return
+	}
+	bt.errs = make([]error, len(bt.recs))
+	accepted := bt.sales[:0:0]
+	for i, rec := range bt.recs {
+		if err := j.Append(rec); err != nil {
+			bt.errs[i] = err
+			continue
+		}
+		accepted = append(accepted, bt.sales[i])
+	}
+	if len(accepted) > 0 {
+		sh.recordBatch(accepted)
+	}
+}
+
+// record appends one purchase to the shard ledger and aggregates.
+func (sh *shard) record(p Purchase) {
+	sh.mu.Lock()
+	sh.recordLocked(p)
+	sh.mu.Unlock()
+}
+
+// recordBatch appends a run of purchases under one lock acquisition.
+func (sh *shard) recordBatch(ps []Purchase) {
+	sh.mu.Lock()
+	for _, p := range ps {
+		sh.recordLocked(p)
+	}
+	sh.mu.Unlock()
+}
+
+// recordLocked appends the purchase to the ledger and folds it into the
+// running aggregates, so Payouts/TotalFees/TotalRevenue never rescan the
+// ledger. Caller holds mu.
+//
+//lint:holds mu
+func (sh *shard) recordLocked(p Purchase) {
+	sh.sales = append(sh.sales, p)
+	sh.payouts[p.Offering] += p.SellerProceeds
+	sh.fees += p.BrokerFee
+	sh.revenue += p.Price
 }
 
 // Payouts returns the seller proceeds accumulated per offering — what the
-// broker owes each seller after taking its cut.
+// broker owes each seller after taking its cut. The result is a fresh map
+// merged from the shards' running aggregates; no ledger rescan.
 func (b *Broker) Payouts() map[string]float64 {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
 	out := make(map[string]float64)
-	for _, p := range b.sales {
-		out[p.Offering] += p.SellerProceeds
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		for name, v := range sh.payouts {
+			out[name] += v
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
-// TotalFees sums the broker's commission earnings.
+// TotalFees sums the broker's commission earnings from the shard
+// aggregates.
 func (b *Broker) TotalFees() float64 {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
 	var s float64
-	for _, p := range b.sales {
-		s += p.BrokerFee
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		s += sh.fees
+		sh.mu.RUnlock()
 	}
 	return s
 }
 
-// Sales returns a copy of the sale ledger.
-func (b *Broker) Sales() []Purchase {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return append([]Purchase(nil), b.sales...)
-}
-
-// TotalRevenue sums the ledger.
+// TotalRevenue sums gross revenue from the shard aggregates.
 func (b *Broker) TotalRevenue() float64 {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
 	var s float64
-	for _, p := range b.sales {
-		s += p.Price
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		s += sh.revenue
+		sh.mu.RUnlock()
 	}
 	return s
+}
+
+// Sales returns a copy of the sale ledger: each shard's sales in order,
+// shards concatenated in index order. Within a shard the order is exactly
+// the order sales were acknowledged (and journaled); across shards there
+// is no global order — concurrent sales of different offerings never
+// synchronized with each other in the first place.
+func (b *Broker) Sales() []Purchase {
+	out := make([]Purchase, 0, b.SaleCount())
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		out = append(out, sh.sales...)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// SaleCount reports the ledger length without copying the ledger.
+func (b *Broker) SaleCount() int {
+	n := 0
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		n += len(sh.sales)
+		sh.mu.RUnlock()
+	}
+	return n
 }

@@ -1,0 +1,214 @@
+package market
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"nimbus/internal/dataset"
+	"nimbus/internal/journal"
+	"nimbus/internal/ml"
+	"nimbus/internal/pricing"
+	"nimbus/internal/rng"
+)
+
+// listSmall lists a small named offering — cheap enough that a test can
+// build several and spread purchases across broker shards.
+func listSmall(t *testing.T, b *Broker, name string, seed int64) *Offering {
+	t.Helper()
+	d, err := dataset.StandIn("CASP", dataset.GenConfig{Rows: 150, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Name = name
+	pair, err := dataset.NewPair(d, rng.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSeller(pair, testResearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := b.List(OfferingConfig{
+		Seller:  s,
+		Model:   ml.LinearRegression{Ridge: 1e-3},
+		Grid:    pricing.DefaultGrid(8),
+		Samples: 24,
+		Seed:    seed + 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// assertAggregatesMatchRescan is the regression check for the running
+// per-offering aggregates: Payouts, TotalFees and TotalRevenue must equal
+// a full rescan of the ledger. The rescan accumulates per shard and then
+// combines shard subtotals in index order — the same floating-point
+// association the aggregates use — so the sums are bit-identical, not
+// merely close.
+func assertAggregatesMatchRescan(t *testing.T, b *Broker) {
+	t.Helper()
+	wantPayouts := make(map[string]float64)
+	var wantFees, wantRevenue float64
+	for i := range b.shards {
+		sh := &b.shards[i]
+		var fees, revenue float64
+		sh.mu.RLock()
+		for _, p := range sh.sales {
+			wantPayouts[p.Offering] += p.SellerProceeds
+			fees += p.BrokerFee
+			revenue += p.Price
+		}
+		sh.mu.RUnlock()
+		wantFees += fees
+		wantRevenue += revenue
+	}
+	gotPayouts := b.Payouts()
+	if len(gotPayouts) != len(wantPayouts) || (len(wantPayouts) > 0 && !reflect.DeepEqual(gotPayouts, wantPayouts)) {
+		t.Fatalf("Payouts() %v != ledger rescan %v", gotPayouts, wantPayouts)
+	}
+	if got := b.TotalFees(); got != wantFees {
+		t.Fatalf("TotalFees() %v != ledger rescan %v", got, wantFees)
+	}
+	if got := b.TotalRevenue(); got != wantRevenue {
+		t.Fatalf("TotalRevenue() %v != ledger rescan %v", got, wantRevenue)
+	}
+}
+
+// TestConcurrentBuyAcrossShards hammers the sharded buy path from every
+// side at once — purchases on four offerings, menu browsing, commission
+// changes, aggregate reads — then checks the books balance and that the
+// journal replays into an identical ledger. Run with -race in CI.
+func TestConcurrentBuyAcrossShards(t *testing.T) {
+	b := NewBroker(97)
+	if err := b.SetCommission(0.1); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for i, n := range []string{"alpha", "beta", "gamma", "delta"} {
+		o := listSmall(t, b, n, int64(100+10*i))
+		names = append(names, o.Name)
+	}
+	dir := t.TempDir()
+	j, err := journal.Open(dir, journal.Options{Sync: journal.SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetJournal(j)
+
+	const buyersPerOffering, buys = 3, 8
+	var wg sync.WaitGroup
+	for _, name := range names {
+		for w := 0; w < buyersPerOffering; w++ {
+			wg.Add(1)
+			go func(name string, w int) {
+				defer wg.Done()
+				for i := 0; i < buys; i++ {
+					if _, err := b.BuyAtQuality(name, "squared", float64(1+(w+i)%5)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(name, w)
+		}
+	}
+	// Browse and admin churn while the buyers run: the lock-free menu path
+	// and the snapshot writers must never block or corrupt a purchase.
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		rates := []float64{0.05, 0.1, 0.15}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if got := len(b.Menu()); got != len(names) {
+				t.Errorf("menu has %d offerings, want %d", got, len(names))
+				return
+			}
+			if _, err := b.Offering(names[i%len(names)]); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := b.SetCommission(rates[i%len(rates)]); err != nil {
+				t.Error(err)
+				return
+			}
+			b.Payouts()
+			b.TotalFees()
+			b.Statement()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := len(names) * buyersPerOffering * buys
+	if got := b.SaleCount(); got != want {
+		t.Fatalf("SaleCount %d, want %d", got, want)
+	}
+	assertAggregatesMatchRescan(t, b)
+
+	// Crash-recovery equivalence: replaying the journal routes every sale
+	// back to its offering's shard in per-shard journal order, so the
+	// recovered ledger is the original, shard for shard.
+	fresh := recoverInto(t, dir)
+	if !reflect.DeepEqual(fresh.Sales(), b.Sales()) {
+		t.Fatal("journal replay does not reproduce the sharded ledger")
+	}
+	assertAggregatesMatchRescan(t, fresh)
+}
+
+// TestAggregatesSurviveRestore checks the running aggregates through the
+// save/restore path: a restored broker must report the same payouts, fees
+// and revenue as the one that earned them, and its Statement (a true
+// rescan) must agree with the aggregates.
+func TestAggregatesSurviveRestore(t *testing.T) {
+	b := NewBroker(98)
+	if err := b.SetCommission(0.2); err != nil {
+		t.Fatal(err)
+	}
+	east := listSmall(t, b, "east", 300)
+	west := listSmall(t, b, "west", 310)
+	for i := 0; i < 5; i++ {
+		if _, err := b.BuyAtQuality(east.Name, "squared", float64(1+i%4)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.BuyAtQuality(west.Name, "squared", float64(1+(i+2)%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertAggregatesMatchRescan(t, b)
+
+	var buf bytes.Buffer
+	if err := b.SaveLedger(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewBroker(1)
+	if err := fresh.RestoreLedger(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Sales(), b.Sales()) {
+		t.Fatal("restored ledger differs from the saved one")
+	}
+	assertAggregatesMatchRescan(t, fresh)
+
+	st := fresh.Statement()
+	if st.Sales != fresh.SaleCount() {
+		t.Fatalf("statement sales %d, SaleCount %d", st.Sales, fresh.SaleCount())
+	}
+	if st.BrokerFees != fresh.TotalFees() || st.Gross != fresh.TotalRevenue() {
+		t.Fatalf("statement totals (fees %v, gross %v) disagree with aggregates (%v, %v)",
+			st.BrokerFees, st.Gross, fresh.TotalFees(), fresh.TotalRevenue())
+	}
+}

@@ -25,26 +25,31 @@ type StatementLine struct {
 	Payout   float64 `json:"payout"`
 }
 
-// Statement aggregates the ledger.
+// Statement aggregates the ledger, one shard at a time. This is the slow
+// audit path — it deliberately rescans sales rather than trusting the
+// running aggregates, so the two can be cross-checked in tests.
 func (b *Broker) Statement() *Statement {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
 	byOffering := map[string]*StatementLine{}
 	st := &Statement{}
-	for _, p := range b.sales {
-		line, ok := byOffering[p.Offering]
-		if !ok {
-			line = &StatementLine{Offering: p.Offering}
-			byOffering[p.Offering] = line
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		for _, p := range sh.sales {
+			line, ok := byOffering[p.Offering]
+			if !ok {
+				line = &StatementLine{Offering: p.Offering}
+				byOffering[p.Offering] = line
+			}
+			line.Sales++
+			line.Gross += p.Price
+			line.Fees += p.BrokerFee
+			line.Payout += p.SellerProceeds
+			st.Sales++
+			st.Gross += p.Price
+			st.BrokerFees += p.BrokerFee
+			st.Payouts += p.SellerProceeds
 		}
-		line.Sales++
-		line.Gross += p.Price
-		line.Fees += p.BrokerFee
-		line.Payout += p.SellerProceeds
-		st.Sales++
-		st.Gross += p.Price
-		st.BrokerFees += p.BrokerFee
-		st.Payouts += p.SellerProceeds
+		sh.mu.RUnlock()
 	}
 	names := make([]string, 0, len(byOffering))
 	for name := range byOffering {

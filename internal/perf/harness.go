@@ -30,12 +30,22 @@ type LoadOptions struct {
 	// Seed drives the market build and the replayable traffic mix
 	// (default 42).
 	Seed int64
-	// Rows sizes the stand-in dataset backing the offering (default 250).
+	// Rows sizes the stand-in dataset backing each offering (default 250).
 	Rows int
-	// Grid and Samples size the listed price–error curve (defaults 15
+	// Grid and Samples size each listed price–error curve (defaults 15
 	// and 60, the integration-test shape).
 	Grid    int
 	Samples int
+	// Offerings is how many offerings the harness lists (default 1).
+	// More offerings spread purchases across broker shards, so this is the
+	// knob that exercises the sharded buy path; loadgen shops every
+	// (offering, loss) curve it finds on the menu.
+	Offerings int
+	// Sync is the harness journal's fsync policy ("always", "group",
+	// "interval", "never"). Default "group": SyncAlways durability with
+	// concurrent sales amortized into shared fsyncs — the policy the
+	// sharded buy path is built around.
+	Sync string
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -59,6 +69,12 @@ func (o *LoadOptions) setDefaults() {
 	if o.Samples <= 0 {
 		o.Samples = 60
 	}
+	if o.Offerings <= 0 {
+		o.Offerings = 1
+	}
+	if o.Sync == "" {
+		o.Sync = "group"
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -73,39 +89,56 @@ func (o *LoadOptions) setDefaults() {
 func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 	opts.setDefaults()
 
+	policy, err := journal.ParseSyncPolicy(opts.Sync)
+	if err != nil {
+		return nil, err
+	}
+
 	// Seeded market: the same stand-in dataset and listing shape the
 	// integration tests use, so trajectory points measure a stable market.
-	d, err := dataset.StandIn("CASP", dataset.GenConfig{Rows: opts.Rows, Seed: opts.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("generating dataset: %w", err)
-	}
-	pair, err := dataset.NewPair(d, rng.New(opts.Seed+1))
-	if err != nil {
-		return nil, err
-	}
-	seller, err := market.NewSeller(pair, market.Research{
-		Value:  func(e float64) float64 { return 80 / (1 + e) },
-		Demand: func(e float64) float64 { return 1 },
-	})
-	if err != nil {
-		return nil, err
-	}
+	// With Offerings > 1 each listing gets its own derived seed and a
+	// distinct name, so listings land on distinct broker shards (modulo
+	// hash collisions) and the load mix covers them all.
 	broker := market.NewBroker(opts.Seed + 2)
 	reg := telemetry.NewRegistry()
 	broker.SetTelemetry(reg)
-	opts.Logf("perf: listing offering (rows=%d grid=%d samples=%d)...", opts.Rows, opts.Grid, opts.Samples)
-	if _, err := broker.List(market.OfferingConfig{
-		Seller:  seller,
-		Model:   ml.LinearRegression{Ridge: 1e-3},
-		Grid:    pricing.DefaultGrid(opts.Grid),
-		Samples: opts.Samples,
-		Seed:    opts.Seed + 3,
-	}); err != nil {
-		return nil, fmt.Errorf("listing offering: %w", err)
+	opts.Logf("perf: listing %d offering(s) (rows=%d grid=%d samples=%d)...",
+		opts.Offerings, opts.Rows, opts.Grid, opts.Samples)
+	for i := 0; i < opts.Offerings; i++ {
+		seed := opts.Seed + int64(i)*101
+		d, err := dataset.StandIn("CASP", dataset.GenConfig{Rows: opts.Rows, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("generating dataset: %w", err)
+		}
+		if opts.Offerings > 1 {
+			// Keep the single-offering profile byte-identical to earlier
+			// trajectory points; rename only when fanning out.
+			d.Name = fmt.Sprintf("CASP-%02d", i+1)
+		}
+		pair, err := dataset.NewPair(d, rng.New(seed+1))
+		if err != nil {
+			return nil, err
+		}
+		seller, err := market.NewSeller(pair, market.Research{
+			Value:  func(e float64) float64 { return 80 / (1 + e) },
+			Demand: func(e float64) float64 { return 1 },
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := broker.List(market.OfferingConfig{
+			Seller:  seller,
+			Model:   ml.LinearRegression{Ridge: 1e-3},
+			Grid:    pricing.DefaultGrid(opts.Grid),
+			Samples: opts.Samples,
+			Seed:    seed + 3,
+		}); err != nil {
+			return nil, fmt.Errorf("listing offering: %w", err)
+		}
 	}
 
 	// Journal in a temp dir: every measured sale pays the real durability
-	// cost (append + interval fsync), as production does.
+	// cost under the selected policy, as production does.
 	dir, err := os.MkdirTemp("", "nimbus-perf-journal-")
 	if err != nil {
 		return nil, err
@@ -114,7 +147,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 		//lint:ignore no-dropped-error the journal dir is throwaway measurement state; a leaked temp dir is not worth failing a report over
 		os.RemoveAll(dir)
 	}()
-	wal, err := journal.Open(dir, journal.Options{Telemetry: reg})
+	wal, err := journal.Open(dir, journal.Options{Sync: policy, Telemetry: reg})
 	if err != nil {
 		return nil, fmt.Errorf("opening journal: %w", err)
 	}
@@ -173,6 +206,8 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 	}
 
 	res := LoadResultFrom(rep, cfg)
+	res.Offerings = opts.Offerings
+	res.JournalSync = policy.String()
 	// Server-side view: the buy route's latency histogram, read with one
 	// consistent snapshot — exactly the series a production scrape exports.
 	h := reg.Histogram("nimbus_http_request_seconds", nil, "route", "POST /api/v1/buy")

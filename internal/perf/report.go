@@ -61,8 +61,14 @@ type Env struct {
 // LoadResult is the buy-path measurement: a closed-loop loadgen run's
 // throughput plus latency percentiles from both vantage points.
 type LoadResult struct {
-	Concurrency    int     `json:"concurrency"`
-	Seed           int64   `json:"seed"`
+	Concurrency int   `json:"concurrency"`
+	Seed        int64 `json:"seed"`
+	// Offerings and JournalSync record the harness profile the point was
+	// measured under (absent on points recorded before they existed).
+	// Informational: Compare never looks at them, but a human diffing two
+	// points should know when the profiles differ.
+	Offerings      int     `json:"offerings,omitempty"`
+	JournalSync    string  `json:"journal_sync,omitempty"`
 	Requests       int     `json:"requests"`
 	Errors         int     `json:"errors"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`

@@ -210,7 +210,7 @@ type StatsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Offerings:    len(s.broker.Menu()),
-		Sales:        len(s.broker.Sales()),
+		Sales:        s.broker.SaleCount(),
 		TotalRevenue: s.broker.TotalRevenue(),
 		BrokerFees:   s.broker.TotalFees(),
 		Payouts:      s.broker.Payouts(),

@@ -115,7 +115,7 @@ func (s *Server) handleUIMenu(w http.ResponseWriter, _ *http.Request) {
 	}{
 		Stats: StatsResponse{
 			Offerings:    len(s.broker.Menu()),
-			Sales:        len(s.broker.Sales()),
+			Sales:        s.broker.SaleCount(),
 			TotalRevenue: s.broker.TotalRevenue(),
 		},
 	}
