@@ -84,12 +84,49 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// GroupRule is a rule that analyzes the whole package group at once —
+// needed when the invariant crosses package boundaries. A GroupRule is
+// still a Rule (its per-package Inspect is typically a no-op) so rule
+// sets stay homogeneous; Run detects the extended interface, builds the
+// group call graph once, and hands it to every group rule.
+type GroupRule interface {
+	Rule
+	InspectGroup(*GroupPass)
+}
+
+// GroupPass hands a GroupRule the whole package group and its call
+// graph. All packages loaded by one Loader share a FileSet, so a single
+// Fset positions every node in the group.
+type GroupPass struct {
+	Pkgs  []*Package
+	Graph *CallGraph
+	Fset  *token.FileSet
+
+	rule  Rule
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding for the group rule this pass is bound to.
+func (p *GroupPass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:    p.rule.Name(),
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
 // Run applies every rule to every package, filters the findings through the
 // packages' //lint:ignore directives, and returns the survivors sorted by
 // file, line, column and rule. Malformed directives are returned as
 // diagnostics themselves (rule "lint-ignore") and cannot be suppressed.
+// Rules implementing GroupRule additionally run once over the whole group
+// with a shared call graph.
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 	var out []Diagnostic
+	allIgnores := make([]*ignoreSet, 0, len(pkgs))
 	for _, pkg := range pkgs {
 		var found []Diagnostic
 		for _, r := range rules {
@@ -105,12 +142,45 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 			r.Inspect(pass)
 		}
 		ignores := collectIgnores(pkg.Fset, pkg.Files)
+		allIgnores = append(allIgnores, ignores)
 		for _, d := range found {
 			if !ignores.suppresses(d) {
 				out = append(out, d)
 			}
 		}
 		out = append(out, ignores.malformed...)
+	}
+	var groupRules []GroupRule
+	for _, r := range rules {
+		if gr, ok := r.(GroupRule); ok {
+			groupRules = append(groupRules, gr)
+		}
+	}
+	if len(groupRules) > 0 && len(pkgs) > 0 {
+		graph := BuildCallGraph(pkgs)
+		var found []Diagnostic
+		for _, gr := range groupRules {
+			gp := &GroupPass{
+				Pkgs:  pkgs,
+				Graph: graph,
+				Fset:  pkgs[0].Fset,
+				rule:  gr,
+				diags: &found,
+			}
+			gr.InspectGroup(gp)
+		}
+		for _, d := range found {
+			suppressed := false
+			for _, ig := range allIgnores {
+				if ig.suppresses(d) {
+					suppressed = true
+					break
+				}
+			}
+			if !suppressed {
+				out = append(out, d)
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -179,6 +179,7 @@ func TestDefaultRulesCoverTheSuite(t *testing.T) {
 	for _, want := range []string{
 		"no-naked-rand", "no-float-eq", "no-wallclock", "no-dropped-error", "telemetry-label-literal",
 		"mutex-discipline", "lock-order", "goroutine-leak", "unlock-path",
+		"noise-taint", "lock-contract", "hotpath-alloc",
 	} {
 		if !names[want] {
 			t.Errorf("DefaultRules is missing %s", want)

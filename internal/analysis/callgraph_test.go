@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// graphFor builds the call graph over the callgraph golden package.
+func graphFor(t *testing.T) *CallGraph {
+	t.Helper()
+	pkg := loadGolden(t, "callgraph")
+	return BuildCallGraph([]*Package{pkg})
+}
+
+// short strips the package-path prefix from a node name for readable
+// assertions.
+func short(name string) string {
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.TrimPrefix(name, "callgraph.")
+}
+
+// edgeStrings renders every edge as "caller -kind-> callee".
+func edgeStrings(g *CallGraph) map[string]bool {
+	out := make(map[string]bool)
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			out[fmt.Sprintf("%s -%s-> %s", short(e.Caller.Name), e.Kind, short(e.Callee.Name))] = true
+		}
+	}
+	return out
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	g := graphFor(t)
+	edges := edgeStrings(g)
+	for _, want := range []string{
+		// Interface dispatch fans out to every implementation.
+		"Announce -dynamic-> (Dog).Speak",
+		"Announce -dynamic-> (*Cat).Speak",
+		// Method value: a ref edge, not a call.
+		"MethodValue -ref-> (*Counter).Inc",
+		// Deferred method call.
+		"DeferredMethod -defer-> (*Counter).Inc",
+		// go-stmt closure: a go edge to the literal, then a static call
+		// from the literal's own node.
+		"Spawn -go-> Spawn$1",
+		"Spawn$1 -call-> helper",
+		// Recursion, mutual and direct.
+		"Even -call-> Odd",
+		"Odd -call-> Even",
+		"Self -call-> Self",
+		"Chain -call-> Even",
+	} {
+		if !edges[want] {
+			t.Errorf("missing edge %q\nhave: %v", want, keys(edges))
+		}
+	}
+	if edges["Spawn -call-> helper"] {
+		t.Error("helper call must belong to the goroutine literal, not Spawn")
+	}
+}
+
+// TestDynamicDispatchNarrowing pins the embedded-interface fix: a method
+// declared on an embedded interface must be dispatched against the call
+// site's static interface, not the method's defining interface.
+func TestDynamicDispatchNarrowing(t *testing.T) {
+	edges := edgeStrings(graphFor(t))
+	for _, want := range []string{
+		// Narrow dispatch fans out to both implementations.
+		"ShutNarrow -dynamic-> (ShutOnly).Shut",
+		"ShutNarrow -dynamic-> (FullWide).Shut",
+		// Wide dispatch reaches the full implementer.
+		"ShutWide -dynamic-> (FullWide).Shut",
+	} {
+		if !edges[want] {
+			t.Errorf("missing edge %q", want)
+		}
+	}
+	// The regression: Shut is declared on the embedded Shutter, so
+	// resolving against the defining interface would admit ShutOnly here.
+	if edges["ShutWide -dynamic-> (ShutOnly).Shut"] {
+		t.Error("ShutWide dispatched to ShutOnly: dispatch used the defining interface, not the call site's")
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCallGraphSCCs(t *testing.T) {
+	g := graphFor(t)
+	sccIndex := make(map[string]int)
+	for i, scc := range g.SCCs() {
+		for _, n := range scc {
+			sccIndex[short(n.Name)] = i
+		}
+	}
+	if sccIndex["Even"] != sccIndex["Odd"] {
+		t.Errorf("Even and Odd should share an SCC: %d vs %d", sccIndex["Even"], sccIndex["Odd"])
+	}
+	if sccIndex["Even"] == sccIndex["Chain"] {
+		t.Error("Chain must not join the Even/Odd SCC")
+	}
+	// Bottom-up: callees' components come before callers'.
+	if sccIndex["Even"] > sccIndex["Chain"] {
+		t.Errorf("callee SCC (%d) must precede caller SCC (%d)", sccIndex["Even"], sccIndex["Chain"])
+	}
+	if sccIndex["helper"] > sccIndex["Spawn$1"] || sccIndex["Spawn$1"] > sccIndex["Spawn"] {
+		t.Errorf("expected helper ≤ Spawn$1 ≤ Spawn, got %d, %d, %d",
+			sccIndex["helper"], sccIndex["Spawn$1"], sccIndex["Spawn"])
+	}
+}
+
+// TestSummaryConvergence computes a transitive-reachability summary over
+// the graph: each function's summary is the sorted set of functions it
+// can reach. The recursive SCCs force the fixpoint loop to iterate.
+func TestSummaryConvergence(t *testing.T) {
+	g := graphFor(t)
+	type reach map[string]bool
+	summaries := ComputeSummaries(g,
+		func(n *FuncNode, get func(*FuncNode) reach) reach {
+			out := make(reach)
+			for _, e := range n.Out {
+				out[short(e.Callee.Name)] = true
+				for name := range get(e.Callee) {
+					out[name] = true
+				}
+			}
+			return out
+		},
+		func(a, b reach) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		})
+	byName := make(map[string]reach)
+	for n, s := range summaries {
+		byName[short(n.Name)] = s
+	}
+	// Mutual recursion: each of Even/Odd reaches both.
+	for _, fn := range []string{"Even", "Odd"} {
+		for _, want := range []string{"Even", "Odd"} {
+			if !byName[fn][want] {
+				t.Errorf("%s should reach %s, got %v", fn, want, keys(byName[fn]))
+			}
+		}
+	}
+	// Transitivity through an SCC boundary.
+	if !byName["Chain"]["Odd"] {
+		t.Errorf("Chain should transitively reach Odd, got %v", keys(byName["Chain"]))
+	}
+	// Through go-closures.
+	if !byName["Spawn"]["helper"] {
+		t.Errorf("Spawn should reach helper through its goroutine literal, got %v", keys(byName["Spawn"]))
+	}
+	// Interface fan-out.
+	if !byName["Announce"]["(Dog).Speak"] || !byName["Announce"]["(*Cat).Speak"] {
+		t.Errorf("Announce should reach both Speak implementations, got %v", keys(byName["Announce"]))
+	}
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotPathAllocGolden(t *testing.T) {
+	checkGolden(t, "hotpath", []Rule{HotPathAlloc{}})
+}
+
+// TestHotPathAllocMalformedAllocok checks the directive contract: a
+// bare //lint:allocok is reported and excuses nothing. The case lives
+// outside the want-comment golden because the finding sits on the
+// directive's own line.
+func TestHotPathAllocMalformedAllocok(t *testing.T) {
+	pkg := loadGolden(t, "hotpathbad")
+	diags := Run([]*Package{pkg}, []Rule{HotPathAlloc{}})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (malformed directive + uncovered make): %v", len(diags), diags)
+	}
+	var sawMalformed, sawMake bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "missing justification") {
+			sawMalformed = true
+		}
+		if strings.Contains(d.Message, "make allocates") {
+			sawMake = true
+		}
+	}
+	if !sawMalformed || !sawMake {
+		t.Errorf("missing expected findings in %v", diags)
+	}
+}
+
+// TestHotPathAllocQuietWithoutRoots makes sure an unannotated tree is
+// never scanned.
+func TestHotPathAllocQuietWithoutRoots(t *testing.T) {
+	pkg := loadGolden(t, "callgraph")
+	if diags := Run([]*Package{pkg}, []Rule{HotPathAlloc{}}); len(diags) != 0 {
+		t.Errorf("root-free package produced %v", diags)
+	}
+}

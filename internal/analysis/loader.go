@@ -114,16 +114,12 @@ func NewLoader(moduleRoot, modulePath string) *Loader {
 // are all excluded by build constraints are skipped silently; an explicitly
 // named directory with no buildable files is an error.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
-	type target struct {
-		dir      string
-		explicit bool
-	}
 	seen := make(map[string]bool)
-	var targets []target
+	var targets []loadTarget
 	add := func(dir string, explicit bool) {
 		if !seen[dir] {
 			seen[dir] = true
-			targets = append(targets, target{dir: dir, explicit: explicit})
+			targets = append(targets, loadTarget{dir: dir, explicit: explicit})
 		}
 	}
 	for _, pat := range patterns {
@@ -168,7 +164,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].dir < targets[j].dir })
 	var pkgs []*Package
-	for _, t := range targets {
+	for _, t := range l.dependencyOrder(targets) {
 		pkg, err := l.LoadDir(t.dir)
 		if err != nil {
 			if _, noGo := err.(*build.NoGoError); noGo && !t.explicit {
@@ -178,7 +174,60 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
+	// Callers see packages in directory order regardless of the
+	// dependency-driven load order above.
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
 	return pkgs, nil
+}
+
+// dependencyOrder arranges load targets so that every target is loaded
+// after the targets it imports. LoadDir registers each fully checked
+// package as an importable dependency, so loading in dependency order
+// makes a target's view of its in-group imports *the same
+// types.Package* the group analyzed — cross-package types.Object
+// identities then line up, which the interprocedural call graph and
+// summaries depend on. Import cycles between targets (invalid Go, but
+// possible in broken trees) degrade gracefully to the alphabetical
+// order.
+func (l *Loader) dependencyOrder(targets []loadTarget) []loadTarget {
+	byPath := make(map[string]int, len(targets))
+	imports := make([][]string, len(targets))
+	for i, t := range targets {
+		pkgPath, err := l.pkgPathFor(t.dir)
+		if err != nil {
+			continue
+		}
+		byPath[pkgPath] = i
+		if bp, err := build.ImportDir(t.dir, 0); err == nil {
+			imports[i] = bp.Imports
+		}
+	}
+	ordered := make([]loadTarget, 0, len(targets))
+	state := make([]int, len(targets)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(i int)
+	visit = func(i int) {
+		if state[i] != 0 {
+			return // done, or a cycle — fall back to encounter order
+		}
+		state[i] = 1
+		for _, imp := range imports[i] {
+			if j, ok := byPath[imp]; ok {
+				visit(j)
+			}
+		}
+		state[i] = 2
+		ordered = append(ordered, targets[i])
+	}
+	for i := range targets {
+		visit(i)
+	}
+	return ordered
+}
+
+// loadTarget is one directory Load resolved from its patterns.
+type loadTarget struct {
+	dir      string
+	explicit bool
 }
 
 // LoadDir parses and fully type-checks the single package in dir, which
@@ -205,9 +254,10 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		files = append(files, f)
 	}
 	info := &types.Info{
-		Types: make(map[ast.Expr]types.TypeAndValue),
-		Uses:  make(map[*ast.Ident]types.Object),
-		Defs:  make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	var typeErrs []error
 	conf := types.Config{
@@ -217,6 +267,12 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	}
 	//lint:ignore no-dropped-error the checker's first error is already captured, with all the others, by the Error handler above
 	tpkg, _ := conf.Check(pkgPath, l.fset, files, info)
+	if tpkg != nil {
+		// Register the fully checked package as the importable version so
+		// packages loaded after this one resolve their imports of it to the
+		// same *types.Package — object identities unify across the group.
+		l.imports[pkgPath] = tpkg
+	}
 	return &Package{
 		Path:       pkgPath,
 		Dir:        abs,

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestLockContractGolden(t *testing.T) {
+	checkGoldenGroup(t, "ipa", []Rule{LockContract{}})
+}
+
+// TestLockContractQuietWithoutContracts makes sure the group rule does
+// nothing on a tree with no holds or lockorder directives.
+func TestLockContractQuietWithoutContracts(t *testing.T) {
+	pkg := loadGolden(t, "callgraph")
+	if diags := Run([]*Package{pkg}, []Rule{LockContract{}}); len(diags) != 0 {
+		t.Errorf("contract-free package produced %v", diags)
+	}
+}

@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc budgets allocations on the serving loop's critical path.
+// A function whose doc comment carries
+//
+//	//lint:hotpath <why this path is hot>
+//
+// roots a hot region: everything reachable from it through call,
+// dynamic-dispatch, defer and function-reference edges — but not
+// go-statements, whose work leaves the latency path — is scanned for
+// allocation sites:
+//
+//   - heap-escaping composite literals (&T{...}) and slice/map literals;
+//     plain value struct literals are stack-friendly and exempt,
+//   - make and new,
+//   - append (growth reallocates the backing array),
+//   - fmt.Sprintf and friends (always allocate their result),
+//   - closure literals (the closure object and its captures),
+//   - interface boxing: a non-pointer-shaped, non-constant value passed
+//     to an interface parameter.
+//
+// An allocation the author has measured and accepted is excused with
+//
+//	//lint:allocok <why the allocation is acceptable>
+//
+// on the allocating line or the line above, or in a function's doc
+// comment to accept the whole function (a constructor that exists to
+// allocate). The reason is mandatory: a bare //lint:allocok is itself
+// a finding, so every exemption in the tree carries an argument.
+//
+// This encodes the paper's real-time constraint directly: Nimbus
+// quotes prices and executes purchases inside an interactive
+// marketplace loop (Figure 1), so the Buy path is a per-request
+// latency budget, and allocations there become GC pressure at exactly
+// the throughput the experiments measure.
+type HotPathAlloc struct{}
+
+func (HotPathAlloc) Name() string { return "hotpath-alloc" }
+
+func (HotPathAlloc) Doc() string {
+	return "functions reachable from a //lint:hotpath root must not allocate " +
+		"(composite literals, make/new, append, fmt.Sprintf, closures, interface " +
+		"boxing) unless the site or function is excused by //lint:allocok <why>"
+}
+
+// Inspect is a no-op: the rule needs the group call graph.
+func (HotPathAlloc) Inspect(*Pass) {}
+
+const (
+	hotpathPrefix = "//lint:hotpath"
+	allocokPrefix = "//lint:allocok"
+)
+
+// directiveRest returns the directive's payload when c starts with
+// prefix at a word boundary.
+func directiveRest(text, prefix string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, prefix)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+func (r HotPathAlloc) InspectGroup(gp *GroupPass) {
+	rootOf := r.reachableFromRoots(gp.Graph)
+	if len(rootOf) == 0 {
+		return
+	}
+	okLines, okFuncs := r.collectAllocok(gp)
+	seen := make(map[token.Pos]bool)
+	for _, nd := range gp.Graph.Nodes {
+		root, hot := rootOf[nd]
+		if !hot || nd.Body() == nil {
+			continue
+		}
+		if nd.Decl != nil && okFuncs[nd.Decl] {
+			continue
+		}
+		r.scanAllocs(gp, nd, root, okLines, seen)
+	}
+}
+
+// reachableFromRoots finds every //lint:hotpath root and BFS-closes the
+// hot region over all edge kinds except go-statements. Each reached
+// function remembers the first root that claimed it, for diagnostics.
+func (HotPathAlloc) reachableFromRoots(g *CallGraph) map[*FuncNode]string {
+	rootOf := make(map[*FuncNode]string)
+	var queue []*FuncNode
+	for _, nd := range g.Nodes {
+		if nd.Decl == nil || nd.Decl.Doc == nil {
+			continue
+		}
+		for _, c := range nd.Decl.Doc.List {
+			if _, ok := directiveRest(c.Text, hotpathPrefix); ok {
+				rootOf[nd] = shortFuncName(nd.Name)
+				queue = append(queue, nd)
+				break
+			}
+		}
+	}
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		for _, e := range nd.Out {
+			if e.Kind == EdgeGo {
+				continue
+			}
+			if _, ok := rootOf[e.Callee]; !ok {
+				rootOf[e.Callee] = rootOf[nd]
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return rootOf
+}
+
+// shortFuncName strips the directory part of a node name:
+// "nimbus/internal/market.(*Broker).Buy" → "market.(*Broker).Buy".
+func shortFuncName(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// collectAllocok indexes //lint:allocok directives: by file line (the
+// directive covers its own line and the next) and by function
+// declaration whose doc carries one. Bare directives are findings.
+func (r HotPathAlloc) collectAllocok(gp *GroupPass) (map[string]map[int]bool, map[*ast.FuncDecl]bool) {
+	okLines := make(map[string]map[int]bool)
+	okFuncs := make(map[*ast.FuncDecl]bool)
+	for _, pkg := range gp.Pkgs {
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					reason, ok := directiveRest(c.Text, allocokPrefix)
+					if !ok {
+						continue
+					}
+					if reason == "" {
+						gp.Reportf(c.Pos(), "missing justification: want %s <why the allocation is acceptable>", allocokPrefix)
+						continue
+					}
+					pos := gp.Fset.Position(c.Pos())
+					if okLines[pos.Filename] == nil {
+						okLines[pos.Filename] = make(map[int]bool)
+					}
+					okLines[pos.Filename][pos.Line] = true
+				}
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if reason, ok := directiveRest(c.Text, allocokPrefix); ok && reason != "" {
+						okFuncs[fd] = true
+					}
+				}
+			}
+		}
+	}
+	return okLines, okFuncs
+}
+
+// scanAllocs reports the allocation sites in one hot function.
+func (r HotPathAlloc) scanAllocs(gp *GroupPass, nd *FuncNode, root string, okLines map[string]map[int]bool, seen map[token.Pos]bool) {
+	info := nd.Pkg.Info
+	excused := func(pos token.Pos) bool {
+		p := gp.Fset.Position(pos)
+		lines := okLines[p.Filename]
+		return lines[p.Line] || lines[p.Line-1]
+	}
+	report := func(pos token.Pos, what string) {
+		if seen[pos] || excused(pos) {
+			return
+		}
+		seen[pos] = true
+		gp.Reportf(pos, "%s in hot path rooted at %s; hoist it or justify with %s <why>", what, root, allocokPrefix)
+	}
+	// addressed marks composite literals already reported through their
+	// enclosing &-operator so they are not flagged twice.
+	addressed := make(map[ast.Expr]bool)
+	ast.Inspect(nd.Body(), func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			report(x.Pos(), "closure literal allocates")
+			// Its body is a separate node, reachable via the ref edge.
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if lit, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					addressed[lit] = true
+					report(x.Pos(), "composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if addressed[x] {
+				return true
+			}
+			if tv, ok := info.Types[x]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(x.Pos(), "slice literal allocates its backing array")
+				case *types.Map:
+					report(x.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.CallExpr:
+			r.scanCallAlloc(info, nd, x, report)
+		}
+		return true
+	})
+}
+
+// scanCallAlloc classifies one call as an allocation site: allocating
+// builtins, the fmt.Sprint family, or interface boxing of its
+// arguments.
+func (r HotPathAlloc) scanCallAlloc(info *types.Info, nd *FuncNode, call *ast.CallExpr, report func(token.Pos, string)) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				report(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			switch fn.Name() {
+			case "Sprintf", "Sprint", "Sprintln", "Errorf", "Appendf":
+				report(call.Pos(), "fmt."+fn.Name()+" allocates its result")
+				return
+			}
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if ok && sig.Params().Len() > 0 {
+		for i, arg := range call.Args {
+			if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+				continue // a spread slice is passed as-is, no per-element boxing
+			}
+			pt := paramTypeAt(sig, i)
+			if pt == nil || !types.IsInterface(pt) {
+				continue
+			}
+			at, ok := info.Types[arg]
+			if !ok || at.Type == nil || at.Value != nil || at.IsNil() {
+				continue
+			}
+			if types.IsInterface(at.Type) || pointerShaped(at.Type) {
+				continue
+			}
+			report(arg.Pos(), "passing "+types.TypeString(at.Type, types.RelativeTo(nd.Pkg.Types))+" boxes it into an interface")
+		}
+	}
+}
+
+// paramTypeAt resolves the parameter type seen by argument i,
+// unwrapping the variadic tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		if sl, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// pointerShaped reports whether boxing a value of t into an interface
+// stores the value directly in the interface word, with no allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// LockContract lifts the tree's lock contracts across function and
+// package boundaries, where the per-package rules cannot see:
+//
+//   - //lint:holds obligations are verified at *cross-package* call
+//     sites: a helper in internal/journal that documents "caller holds
+//     mu" is only as safe as the broker call sites that import it, and
+//     those live in a different package than the directive.
+//     Same-package call sites stay with mutex-discipline, so no finding
+//     is ever reported twice.
+//   - //lint:lockorder declarations are checked across call edges using
+//     per-function acquisition summaries: a call made while a lock may
+//     be held is flagged when the callee — transitively, through the
+//     group call graph — may acquire a lock the declared order says
+//     must come first. The intraprocedural rule sees only acquisitions
+//     spelled out in the same body; this closes the "helper takes the
+//     journal mutex for you" gap that makes ABBA deadlocks survive
+//     refactors.
+//
+// Acquisition summaries follow call, dynamic-dispatch and defer edges.
+// go-statement edges are excluded (the spawned goroutine acquires on
+// its own stack), and bare function references are excluded (a stored
+// closure runs at an unknowable time; the call through the variable is
+// checked wherever it is resolvable). Locks are matched by field name,
+// the same convention the intraprocedural lock-order rule uses.
+type LockContract struct{}
+
+func (LockContract) Name() string { return "lock-contract" }
+
+func (LockContract) Doc() string {
+	return "cross-package call sites must satisfy the callee's //lint:holds contract, " +
+		"and no call may transitively acquire a lock that //lint:lockorder places " +
+		"before one already held"
+}
+
+// Inspect is a no-op: the rule only has group-wide work.
+func (LockContract) Inspect(*Pass) {}
+
+// lockAcqSummary maps each lock field name a function may acquire —
+// directly or transitively — to one representative acquisition position
+// for diagnostics.
+type lockAcqSummary map[string]token.Pos
+
+func (r LockContract) InspectGroup(gp *GroupPass) {
+	holds := r.collectGroupHolds(gp)
+	order := r.mergedLockOrder(gp)
+	if len(holds) == 0 && len(order.before) == 0 {
+		return
+	}
+	var acq map[*FuncNode]lockAcqSummary
+	if len(order.before) > 0 {
+		acq = r.acquireSummaries(gp.Graph)
+	}
+	for _, fn := range gp.Graph.Nodes {
+		if fn.Body() == nil {
+			continue
+		}
+		if len(holds) > 0 {
+			r.checkHolds(gp, fn, holds)
+		}
+		if len(order.before) > 0 {
+			r.checkOrder(gp, fn, order, acq)
+		}
+	}
+}
+
+// collectGroupHolds indexes every //lint:holds contract in the group by
+// the function's type object. Malformed directives are skipped silently
+// here: mutex-discipline already reports them in the declaring package.
+func (LockContract) collectGroupHolds(gp *GroupPass) map[types.Object][]string {
+	holds := make(map[types.Object][]string)
+	for _, pkg := range gp.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if names, _, found := holdsAnnotation(fd); found && names != nil {
+					if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+						holds[obj] = names
+					}
+				}
+			}
+		}
+	}
+	return holds
+}
+
+// mergedLockOrder composes every package's //lint:lockorder directives
+// into one group-wide partial order. Malformed directives and cycles
+// are the declaring package's problem (lock-order reports them); the
+// merge only reads well-formed pairs.
+func (LockContract) mergedLockOrder(gp *GroupPass) *lockOrder {
+	silent := func(token.Pos, string, ...any) {}
+	merged := &lockOrder{}
+	for _, pkg := range gp.Pkgs {
+		lo := collectLockOrder(&Pass{Files: pkg.Files}, silent)
+		for a, bs := range lo.before {
+			for b := range bs {
+				merged.add(a, b, lo.decls[a+"<"+b])
+			}
+		}
+	}
+	merged.close(silent)
+	return merged
+}
+
+// acquireSummaries computes, bottom-up over SCCs, the set of lock field
+// names each function may acquire.
+func (LockContract) acquireSummaries(g *CallGraph) map[*FuncNode]lockAcqSummary {
+	return ComputeSummaries(g,
+		func(n *FuncNode, get func(*FuncNode) lockAcqSummary) lockAcqSummary {
+			out := make(lockAcqSummary)
+			for _, op := range lockOpsIn(n.Pkg.Info, n.Body()) {
+				if op.acquire() {
+					name := lastComponent(op.key)
+					if _, ok := out[name]; !ok {
+						out[name] = op.pos
+					}
+				}
+			}
+			for _, e := range n.Out {
+				if e.Kind != EdgeCall && e.Kind != EdgeDynamic && e.Kind != EdgeDefer {
+					continue
+				}
+				for name, pos := range get(e.Callee) {
+					if _, ok := out[name]; !ok {
+						out[name] = pos
+					}
+				}
+			}
+			return out
+		},
+		func(a, b lockAcqSummary) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					return false
+				}
+			}
+			return true
+		})
+}
+
+// nodeEntry is the function's entry lockset from its own holds
+// directive.
+func nodeEntry(fn *FuncNode) lockFact {
+	if fn.Decl != nil {
+		return entryFact(funcBody{decl: fn.Decl, body: fn.Decl.Body})
+	}
+	return lockFact{}
+}
+
+// checkHolds verifies cross-package call sites against the callee's
+// //lint:holds contract under the must-lockset.
+func (LockContract) checkHolds(gp *GroupPass, fn *FuncNode, holds map[types.Object][]string) {
+	info := fn.Pkg.Info
+	cfg := BuildCFG(fn.Body(), CFGOptions{IsExit: func(c *ast.CallExpr) bool { return isPanicCall(info, c) }})
+	res := Forward(cfg, &lockFlow{info: info, entry: nodeEntry(fn)})
+	res.Walk(func(_ *Block, n ast.Node, before lockFact) {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			// The deferred call runs at exit under an unknowable lockset.
+			return
+		}
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				callee, ok := info.Uses[sel.Sel].(*types.Func)
+				if !ok || callee.Pkg() == nil || callee.Pkg().Path() == fn.Pkg.Path {
+					// Same-package sites belong to mutex-discipline.
+					return true
+				}
+				names := holds[callee]
+				if len(names) == 0 {
+					return true
+				}
+				base, ok := exprKey(sel.X)
+				if !ok {
+					return true
+				}
+				for _, lock := range resolveHoldKeys(names, base) {
+					if _, held := before.held[lock]; !held {
+						gp.Reportf(x.Pos(), "call to %s requires %s held (//lint:holds in %s) but it is not held on every path",
+							fnDisplay(callee), lock, callee.Pkg().Path())
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// checkOrder flags call sites whose callee may — transitively — acquire
+// a lock the declared order places before one the caller may already
+// hold.
+func (LockContract) checkOrder(gp *GroupPass, fn *FuncNode, order *lockOrder, acq map[*FuncNode]lockAcqSummary) {
+	info := fn.Pkg.Info
+	bySite := make(map[ast.Node][]*CallEdge)
+	for _, e := range fn.Out {
+		if e.Kind == EdgeCall || e.Kind == EdgeDynamic {
+			bySite[e.Site] = append(bySite[e.Site], e)
+		}
+	}
+	if len(bySite) == 0 {
+		return
+	}
+	cfg := BuildCFG(fn.Body(), CFGOptions{IsExit: func(c *ast.CallExpr) bool { return isPanicCall(info, c) }})
+	res := Forward(cfg, &lockFlow{info: info, entry: nodeEntry(fn), union: true})
+	res.Walk(func(_ *Block, n ast.Node, before lockFact) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, isLit := x.(*ast.FuncLit); isLit {
+				return false
+			}
+			call, isCall := x.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			reported := make(map[string]bool)
+			for _, e := range bySite[call] {
+				for name, pos := range acq[e.Callee] {
+					for heldKey := range before.held {
+						held := lastComponent(heldKey)
+						if name == held || !order.before[name][held] {
+							continue
+						}
+						if key := name + "/" + heldKey; !reported[key] {
+							reported[key] = true
+							p := gp.Fset.Position(pos)
+							gp.Reportf(call.Pos(), "call may acquire %s (%s:%d) while %s may be held; declared lock order is %s < %s",
+								name, filepath.Base(p.Filename), p.Line, heldKey, name, held)
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+}

@@ -19,7 +19,13 @@ import "strings"
 //     lock-order, goroutine-leak, unlock-path) everywhere: their
 //     contracts are opt-in per annotation (`guarded by`, //lint:lockorder,
 //     //lint:holds), so unannotated packages pay nothing, and the rules
-//     stay silent where type information is missing.
+//     stay silent where type information is missing;
+//   - the three interprocedural group rules: noise-taint tracks raw
+//     optimal models (market.Offering.Optimal, //lint:source fields,
+//     ml Fit outputs) to release sinks across the whole group,
+//     lock-contract verifies //lint:holds and //lint:lockorder across
+//     call and package boundaries, and hotpath-alloc budgets
+//     allocations under the //lint:hotpath roots on the Buy path.
 func DefaultRules(modulePath string) []Rule {
 	internal := func(pkg string) string { return modulePath + "/internal/" + pkg }
 	deterministic := []string{
@@ -44,6 +50,25 @@ func DefaultRules(modulePath string) []Rule {
 		LockOrder{},
 		GoroutineLeak{},
 		UnlockPath{},
+		NoiseTaint{
+			SourceFields: []FieldRef{
+				{Pkg: internal("market"), Type: "Offering", Field: "Optimal"},
+			},
+			SourceFuncs:   []FuncRef{{Pkg: internal("ml"), Name: "Fit"}},
+			Sanitizers:    []FuncRef{{Pkg: internal("noise"), Name: "Perturb"}},
+			SanitizerName: "noise.Mechanism.Perturb",
+			Scope: []string{
+				internal("market"),
+				internal("server"),
+				internal("journal"),
+				internal("pricing"),
+				internal("ml"),
+				internal("noise"),
+				modulePath + "/cmd",
+			},
+		},
+		LockContract{},
+		HotPathAlloc{},
 	}
 }
 

@@ -1,0 +1,27 @@
+package analysis
+
+// ComputeSummaries drives a bottom-up summary computation over the call
+// graph. compute is called with a node and a getter for the current
+// summaries of other nodes (the zero value of S before a node's first
+// computation). Components are processed callee-first; within a strongly
+// connected component — mutual recursion — compute is re-run until no
+// summary in the component changes, so compute must be monotone for the
+// fixpoint to terminate: a recomputed summary may add facts but should
+// never oscillate.
+func ComputeSummaries[S any](g *CallGraph, compute func(n *FuncNode, get func(*FuncNode) S) S, equal func(a, b S) bool) map[*FuncNode]S {
+	out := make(map[*FuncNode]S, len(g.Nodes))
+	get := func(n *FuncNode) S { return out[n] }
+	for _, scc := range g.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				next := compute(n, get)
+				if !equal(out[n], next) {
+					out[n] = next
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}

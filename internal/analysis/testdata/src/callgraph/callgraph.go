@@ -1,0 +1,65 @@
+// Package callgraph exercises call-graph construction edge cases:
+// static calls, interface dispatch with multiple implementations,
+// deferred method calls, go-stmt closures, method values and mutual
+// recursion. It carries no want-comments — callgraph_test.go asserts
+// the edges and SCC order directly.
+package callgraph
+
+type Speaker interface{ Speak() string }
+
+type Dog struct{}
+
+func (Dog) Speak() string { return "woof" }
+
+type Cat struct{ last string }
+
+func (c *Cat) Speak() string { return "meow" }
+
+// Announce dispatches through the interface: the graph must fan out to
+// both implementations.
+func Announce(s Speaker) string { return s.Speak() }
+
+type Counter struct{ n int }
+
+func (c *Counter) Inc() { c.n++ }
+
+// MethodValue returns c.Inc without calling it: a ref edge.
+func MethodValue(c *Counter) func() { return c.Inc }
+
+// DeferredMethod defers a method call: a defer edge.
+func DeferredMethod(c *Counter) { defer c.Inc() }
+
+// Spawn launches a closure on a goroutine: a go edge to the literal,
+// and the literal gets its own static edge to helper.
+func Spawn() {
+	go func() { helper() }()
+}
+
+func helper() {}
+
+// Even and Odd are mutually recursive: one SCC with both members.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+// Self is directly recursive: a singleton SCC with a self-edge.
+func Self(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Self(n - 1)
+}
+
+// Chain → Even exercises bottom-up ordering: the {Even, Odd} component
+// must be summarized before Chain's.
+func Chain(n int) bool { return Even(n) }

@@ -1,0 +1,34 @@
+package callgraph
+
+// Embedded-interface dispatch narrowing: Shut is declared on Shutter,
+// but WideShutter embeds it. A call through a WideShutter value must
+// only fan out to types that implement the *whole* embedding
+// interface — resolving against Shut's defining interface would make
+// every type with a Shut method a candidate.
+
+type Shutter interface{ Shut() }
+
+type WideShutter interface {
+	Shutter
+	Wide() string
+}
+
+// ShutOnly implements Shutter but not WideShutter.
+type ShutOnly struct{}
+
+func (ShutOnly) Shut() {}
+
+// FullWide implements WideShutter.
+type FullWide struct{}
+
+func (FullWide) Shut()        {}
+func (FullWide) Wide() string { return "" }
+
+// ShutNarrow dispatches through the narrow interface: both
+// implementations are candidates.
+func ShutNarrow(s Shutter) { s.Shut() }
+
+// ShutWide dispatches Shut through the embedding interface. The method
+// object is Shutter's, but the call site's static interface is
+// WideShutter, so ShutOnly must not be a candidate.
+func ShutWide(w WideShutter) { w.Shut() }

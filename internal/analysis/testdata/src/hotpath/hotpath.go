@@ -1,0 +1,77 @@
+// Package hotpath exercises the hot-path allocation budget rule:
+// rooted reachability, every allocation kind, the go-statement escape,
+// and both scopes of //lint:allocok.
+package hotpath
+
+import "fmt"
+
+type order struct {
+	id  int
+	tag string
+}
+
+var (
+	sink    any
+	results []*order
+	shared  *order
+)
+
+// process is the serving loop's critical section.
+//
+//lint:hotpath per-request purchase path, measured by the perf harness
+func process(id int) {
+	o := &order{id: id}          // want hotpath-alloc
+	results = append(results, o) // want hotpath-alloc
+	helper(id)
+	fine(id)
+	reuse()
+	_ = clone(o)
+	go coldWork()
+}
+
+// helper is hot by reachability, not by annotation.
+func helper(id int) {
+	s := fmt.Sprintf("order-%d", id) // want hotpath-alloc
+	_ = s
+	buf := make([]byte, 64) // want hotpath-alloc
+	_ = buf
+	ids := []int{1, 2, 3} // want hotpath-alloc
+	_ = ids
+	f := func() int { return id } // want hotpath-alloc
+	_ = f()
+}
+
+// fine justifies its allocation, then boxes a value without excuse.
+func fine(id int) {
+	//lint:allocok capacity 4 covers every real batch on this path
+	tmp := make([]int, 0, 4)
+	_ = tmp
+	box(id) // want hotpath-alloc
+}
+
+func box(v any) { sink = v }
+
+// reuse only touches existing memory: no findings.
+func reuse() {
+	p := shared
+	_ = p
+	v := order{id: 1}
+	_ = v
+	take(v)
+}
+
+func take(order) {}
+
+// clone exists to allocate; callers budget for it.
+//
+//lint:allocok the copy is the point; callers amortize it per batch
+func clone(o *order) *order {
+	return &order{id: o.id, tag: o.tag}
+}
+
+// coldWork runs on its own goroutine, off the latency path, so its
+// allocation is out of budget scope.
+func coldWork() {
+	m := map[string]int{"a": 1}
+	_ = m
+}

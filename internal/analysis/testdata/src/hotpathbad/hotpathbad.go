@@ -1,0 +1,9 @@
+// Package hotpathbad holds a bare //lint:allocok, which must itself be
+// a finding and must not excuse the allocation under it.
+package hotpathbad
+
+//lint:hotpath spin loop
+func spin() []int {
+	//lint:allocok
+	return make([]int, 8)
+}

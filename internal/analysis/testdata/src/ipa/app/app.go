@@ -1,0 +1,56 @@
+// Package app consumes lib's lock contracts from across the package
+// boundary — the blind spot of the per-package rules.
+package app
+
+import "nimbus/internal/analysis/testdata/src/ipa/lib"
+
+// Bad calls a //lint:holds helper without entering the critical
+// section.
+func Bad(s *lib.Store) int {
+	return s.MustGet("k") // want lock-contract
+}
+
+// Good holds the contractual lock at the call site.
+func Good(s *lib.Store) int {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.MustGet("k")
+}
+
+// Branchy only locks on one path, so the must-lockset rejects it.
+func Branchy(s *lib.Store, lock bool) int {
+	if lock {
+		s.Mu.Lock()
+		defer s.Mu.Unlock()
+	}
+	return s.MustGet("k") // want lock-contract
+}
+
+// BadOrder acquires Bmu and then calls into lib, which takes Amu —
+// against the declared Amu < Bmu order. The acquisition is invisible
+// intraprocedurally and the directive lives in the other package.
+func BadOrder(p *lib.Pair) {
+	p.Bmu.Lock()
+	p.GrabA() // want lock-contract
+	p.ReleaseA()
+	p.Bmu.Unlock()
+}
+
+// GoodOrder nests the locks the declared way round.
+func GoodOrder(p *lib.Pair) {
+	p.GrabA()
+	p.Bmu.Lock()
+	p.Bmu.Unlock()
+	p.ReleaseA()
+}
+
+// grabViaHelper adds one more hop so the summary must be transitive.
+func grabViaHelper(p *lib.Pair) { p.GrabA() }
+
+// BadChain hits the same ordering violation two call edges deep.
+func BadChain(p *lib.Pair) {
+	p.Bmu.Lock()
+	grabViaHelper(p) // want lock-contract
+	p.ReleaseA()
+	p.Bmu.Unlock()
+}

@@ -1,0 +1,28 @@
+package taint
+
+import "encoding/json"
+
+// pubEven and pubOdd leak their parameter through mutual recursion:
+// each one's leak clause embeds the other's, so a summary equality
+// that compared rendered clause text would grow a layer per fixpoint
+// iteration and never converge. The fixpoint compares leak presence
+// instead; this golden pins both the termination and the call-site
+// finding.
+func pubEven(w []float64, depth int) {
+	if depth <= 0 {
+		b, _ := json.Marshal(w)
+		_ = b
+		return
+	}
+	pubOdd(w, depth-1)
+}
+
+func pubOdd(w []float64, depth int) {
+	pubEven(w, depth-1)
+}
+
+// RecursiveLeak hands raw data into the leaking cycle; the finding
+// lands here, where the taint enters.
+func RecursiveLeak(m *Model) {
+	pubEven(m.Raw, 3) // want noise-taint
+}

@@ -1,0 +1,23 @@
+// Package model declares a raw-model carrier for the cross-package
+// taint golden: the marked field lives here, the leak lives in the
+// sibling web package.
+package model
+
+// Trained is a trained model.
+//
+//lint:source Trained.Weights
+type Trained struct {
+	Weights []float64
+	Name    string
+}
+
+// RawWeights hands out the raw slice; its summary must carry the
+// internal taint across the package boundary.
+func (t *Trained) RawWeights() []float64 { return t.Weights }
+
+// Scrub is the sanitizer the rule config names.
+func Scrub(w []float64) []float64 {
+	out := make([]float64, len(w))
+	copy(out, w)
+	return out
+}

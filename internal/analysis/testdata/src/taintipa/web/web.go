@@ -1,0 +1,25 @@
+// Package web leaks a raw model declared in a sibling package; the
+// golden proves summaries and marked-field identity survive the
+// package boundary.
+package web
+
+import (
+	"encoding/json"
+
+	"nimbus/internal/analysis/testdata/src/taintipa/model"
+)
+
+// Leak releases raw weights fetched through a cross-package helper.
+func Leak(t *model.Trained) ([]byte, error) {
+	return json.Marshal(t.RawWeights()) // want noise-taint
+}
+
+// FieldLeak reads the marked field directly across the boundary.
+func FieldLeak(t *model.Trained) ([]byte, error) {
+	return json.Marshal(t.Weights) // want noise-taint
+}
+
+// Clean scrubs before releasing.
+func Clean(t *model.Trained) ([]byte, error) {
+	return json.Marshal(model.Scrub(t.RawWeights()))
+}

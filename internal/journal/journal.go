@@ -281,6 +281,7 @@ func checkRecord(rec []byte) error {
 		return errors.New("journal: empty record")
 	}
 	if int64(len(rec)) > MaxRecordSize {
+		//lint:allocok refusal path: the record is being rejected, not written
 		return fmt.Errorf("journal: record of %d bytes exceeds MaxRecordSize", len(rec))
 	}
 	return nil
@@ -290,6 +291,8 @@ func checkRecord(rec []byte) error {
 // policy, and returns once the record is on the tail segment. Appends are
 // atomic with respect to recovery: a crash mid-append loses at most this
 // record, never an earlier one.
+//
+//lint:hotpath write-ahead step of every durable sale
 func (j *Journal) Append(rec []byte) error {
 	if err := checkRecord(rec); err != nil {
 		return err
@@ -297,9 +300,11 @@ func (j *Journal) Append(rec []byte) error {
 	start := time.Now()
 	var err error
 	if j.opts.Sync == SyncGroup {
+		//lint:allocok one-element view; groupCommit copies the element out, so escape analysis keeps it on this stack
 		err = j.groupCommit([][]byte{rec})
 	} else {
 		j.mu.Lock()
+		//lint:allocok one-element view; writeLocked only ranges over it, so escape analysis keeps it on this stack
 		err = j.writeLocked([][]byte{rec}, j.opts.Sync == SyncAlways)
 		j.mu.Unlock()
 	}
@@ -317,6 +322,8 @@ func (j *Journal) Append(rec []byte) error {
 // tail a crash leaves behind is still recovered to a prefix of the
 // batch). Under SyncGroup the whole run joins the in-flight batch as a
 // unit, preserving its internal order.
+//
+//lint:hotpath batched write-ahead step of the group-commit path
 func (j *Journal) AppendMany(recs [][]byte) error {
 	if len(recs) == 0 {
 		return nil
@@ -352,6 +359,7 @@ func (j *Journal) writeLocked(recs [][]byte, fsync bool) error {
 		return ErrClosed
 	}
 	if j.failed != nil {
+		//lint:allocok refusal path: the journal is poisoned and the append is rejected
 		return fmt.Errorf("journal: poisoned by earlier failure: %w", j.failed)
 	}
 	j.buf = j.buf[:0]
@@ -367,15 +375,19 @@ func (j *Journal) writeLocked(recs [][]byte, fsync bool) error {
 		// frame would manufacture exactly the mid-stream corruption
 		// recovery refuses.
 		if terr := j.tail.Truncate(j.tailSize); terr != nil {
+			//lint:allocok failure path: the write already failed
 			j.failed = fmt.Errorf("append failed (%v) and truncate-back failed (%v)", err, terr)
 		}
+		//lint:allocok failure path: the write already failed
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	j.tailSize += int64(len(j.buf))
 	j.dirty = true
 	if fsync {
 		if err := j.tail.Sync(); err != nil {
+			//lint:allocok failure path: the fsync already failed
 			j.failed = fmt.Errorf("fsync failed: %w", err)
+			//lint:allocok failure path: the fsync already failed
 			return fmt.Errorf("journal: append fsync: %w", err)
 		}
 		j.dirty = false
@@ -388,6 +400,7 @@ func (j *Journal) writeLocked(recs [][]byte, fsync bool) error {
 			// The records themselves are safely in the sealed segment;
 			// only the rotation failed. Poison so the operator finds out.
 			j.failed = err
+			//lint:allocok failure path: the rotation already failed
 			return fmt.Errorf("journal: rotating segment: %w", err)
 		}
 	}
@@ -426,9 +439,11 @@ func (j *Journal) groupCommit(recs [][]byte) error {
 	g := &j.group
 	g.mu.Lock()
 	if g.cur == nil {
+		//lint:allocok one batch header per group-commit window, amortized over every record in the batch
 		g.cur = &groupBatch{}
 	}
 	b := g.cur
+	//lint:allocok batch slice grows toward the window's size; the doubling amortizes across the batch
 	b.recs = append(b.recs, recs...)
 	for g.flushing && !b.done {
 		g.cond.Wait()
@@ -481,11 +496,13 @@ func (j *Journal) armFlushLocked() {
 //lint:holds mu
 func (j *Journal) rotateLocked() error {
 	if err := j.tail.Sync(); err != nil {
+		//lint:allocok failure path: the seal fsync already failed
 		return fmt.Errorf("sealing segment %d: %w", j.tailSeq, err)
 	}
 	j.tel.fsyncs.Inc()
 	j.dirty = false
 	if err := j.tail.Close(); err != nil {
+		//lint:allocok failure path: the close already failed
 		return fmt.Errorf("closing segment %d: %w", j.tailSeq, err)
 	}
 	f, err := j.createSegment(j.tailSeq + 1)
@@ -506,11 +523,13 @@ func (j *Journal) createSegment(seq uint64) (File, error) {
 	path := filepath.Join(j.dir, segName(seq))
 	f, err := j.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
+		//lint:allocok failure path: the segment create already failed
 		return nil, fmt.Errorf("creating segment %d: %w", seq, err)
 	}
 	if err := j.fs.SyncDir(j.dir); err != nil {
 		//lint:ignore no-dropped-error best-effort cleanup; the directory-sync failure is what gets reported
 		f.Close()
+		//lint:allocok failure path: the directory sync already failed
 		return nil, fmt.Errorf("syncing journal directory: %w", err)
 	}
 	return f, nil
@@ -620,5 +639,6 @@ func (j *Journal) Dir() string { return j.dir }
 
 // segName and snapName are the on-disk naming scheme; sequence numbers
 // are zero-padded hex so lexical order is numeric order.
+//lint:allocok one name per segment rotation, SegmentBytes apart
 func segName(seq uint64) string  { return fmt.Sprintf("seg-%016x.wal", seq) }
 func snapName(seq uint64) string { return fmt.Sprintf("snap-%016x.snap", seq) }

@@ -335,38 +335,47 @@ func (b *Broker) Menu() []string {
 func (b *Broker) Offering(name string) (*Offering, error) {
 	o, ok := b.menu.Load().offerings[name]
 	if !ok {
+		//lint:allocok refusal path: the request is being rejected, not served
 		return nil, fmt.Errorf("market: %q: %w", name, ErrUnknownOffering)
 	}
 	return o, nil
 }
 
+// buyMode selects which of the paper's three purchase options buy
+// executes. An enum instead of a pick-closure keeps the per-request
+// path free of closure allocations.
+type buyMode uint8
+
+const (
+	buyAtQuality buyMode = iota
+	buyErrorBudget
+	buyPriceBudget
+)
+
 // BuyAtQuality executes the buyer's first option: purchase the version at
 // quality x on the (offering, loss) curve.
 func (b *Broker) BuyAtQuality(offering, loss string, x float64) (*Purchase, error) {
-	return b.buy(offering, loss, func(c *pricing.PriceErrorCurve) (pricing.PriceErrorPoint, error) {
-		return c.PointAt(x), nil
-	})
+	return b.buy(offering, loss, buyAtQuality, x)
 }
 
 // BuyWithErrorBudget executes the buyer's second option: the cheapest
 // version whose expected error is at most budget.
 func (b *Broker) BuyWithErrorBudget(offering, loss string, budget float64) (*Purchase, error) {
-	return b.buy(offering, loss, func(c *pricing.PriceErrorCurve) (pricing.PriceErrorPoint, error) {
-		return c.PointForErrorBudget(budget)
-	})
+	return b.buy(offering, loss, buyErrorBudget, budget)
 }
 
 // BuyWithPriceBudget executes the buyer's third option: the most accurate
 // version whose price is within budget.
 func (b *Broker) BuyWithPriceBudget(offering, loss string, budget float64) (*Purchase, error) {
-	return b.buy(offering, loss, func(c *pricing.PriceErrorCurve) (pricing.PriceErrorPoint, error) {
-		return c.PointForPriceBudget(budget)
-	})
+	return b.buy(offering, loss, buyPriceBudget, budget)
 }
 
-// buy resolves the offering and curve, picks the purchase point, and
-// finalizes the sale, recording any refusal for telemetry.
-func (b *Broker) buy(offering, loss string, pick func(*pricing.PriceErrorCurve) (pricing.PriceErrorPoint, error)) (*Purchase, error) {
+// buy resolves the offering and curve, picks the purchase point per the
+// buyer's option, and finalizes the sale, recording any refusal for
+// telemetry.
+//
+//lint:hotpath per-request purchase path; Figure 1's interactive loop
+func (b *Broker) buy(offering, loss string, mode buyMode, arg float64) (*Purchase, error) {
 	o, err := b.Offering(offering)
 	if err != nil {
 		b.recordReject(err)
@@ -377,7 +386,15 @@ func (b *Broker) buy(offering, loss string, pick func(*pricing.PriceErrorCurve) 
 		b.recordReject(err)
 		return nil, err
 	}
-	pt, err := pick(c)
+	var pt pricing.PriceErrorPoint
+	switch mode {
+	case buyAtQuality:
+		pt = c.PointAt(arg)
+	case buyErrorBudget:
+		pt, err = c.PointForErrorBudget(arg)
+	default:
+		pt, err = c.PointForPriceBudget(arg)
+	}
 	if err != nil {
 		b.recordReject(err)
 		return nil, err
@@ -391,8 +408,11 @@ func (b *Broker) buy(offering, loss string, pick func(*pricing.PriceErrorCurve) 
 // shard ledger and returns the purchase. The purchase record is marshalled
 // here, outside every lock — only the journal I/O and the ledger append
 // are serialized, and only within the offering's shard.
+//
+//lint:hotpath per-sale critical section between quote and acknowledgment
 func (b *Broker) finalize(o *Offering, loss string, pt pricing.PriceErrorPoint) (*Purchase, error) {
 	if pt.X <= 0 {
+		//lint:allocok refusal path: the request is being rejected, not served
 		err := fmt.Errorf("market: purchase at non-positive quality %v", pt.X)
 		b.recordReject(err)
 		return nil, err
@@ -420,6 +440,7 @@ func (b *Broker) finalize(o *Offering, loss string, pt pricing.PriceErrorPoint) 
 			err = sh.commit(j, rec, p)
 		}
 		if err != nil {
+			//lint:allocok failure path: the sale did not go through
 			err = fmt.Errorf("%w: %v", ErrJournal, err)
 			b.recordReject(err)
 			return nil, err
@@ -448,14 +469,19 @@ func (b *Broker) saleTerms(price float64) (fee float64, j SaleJournal) {
 // the batch — one journal call and one ledger splice for everyone —
 // while later arrivals accumulate the next batch. No lock is held across
 // the journal I/O.
+//
+//lint:hotpath every durable sale serializes through the shard's commit queue
 func (sh *shard) commit(j SaleJournal, rec []byte, p Purchase) error {
 	sh.jmu.Lock()
 	if sh.jbatch == nil {
+		//lint:allocok one batch header per flush window, amortized over every sale in the batch
 		sh.jbatch = &commitBatch{}
 	}
 	bt := sh.jbatch
 	idx := len(bt.recs)
+	//lint:allocok batch slices grow toward the flush window's size; the doubling amortizes across the batch
 	bt.recs = append(bt.recs, rec)
+	//lint:allocok same amortized growth as recs above
 	bt.sales = append(bt.sales, p)
 	for sh.jleading && !bt.done {
 		sh.jcond.Wait()
@@ -495,6 +521,7 @@ func (sh *shard) flush(j SaleJournal, bt *commitBatch) {
 		sh.recordBatch(bt.sales)
 		return
 	}
+	//lint:allocok per-record fallback only: one verdict slot per batched sale
 	bt.errs = make([]error, len(bt.recs))
 	accepted := bt.sales[:0:0]
 	for i, rec := range bt.recs {
@@ -502,6 +529,7 @@ func (sh *shard) flush(j SaleJournal, bt *commitBatch) {
 			bt.errs[i] = err
 			continue
 		}
+		//lint:allocok per-record fallback only; grows to at most the batch size
 		accepted = append(accepted, bt.sales[i])
 	}
 	if len(accepted) > 0 {
@@ -531,6 +559,7 @@ func (sh *shard) recordBatch(ps []Purchase) {
 //
 //lint:holds mu
 func (sh *shard) recordLocked(p Purchase) {
+	//lint:allocok the ledger is the product; slice doubling amortizes across the shard's sale history
 	sh.sales = append(sh.sales, p)
 	sh.payouts[p.Offering] += p.SellerProceeds
 	sh.fees += p.BrokerFee

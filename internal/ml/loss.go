@@ -21,6 +21,8 @@ type Loss interface {
 	// Name identifies the loss in curves and the market menu.
 	Name() string
 	// Eval returns the averaged loss of weight vector w on d.
+	//
+	//lint:declassify a scalar averaged loss reveals model quality, not the coordinates of w
 	Eval(w []float64, d *dataset.Dataset) float64
 	// StrictlyConvex reports whether the loss is strictly convex in w, the
 	// condition under which Theorem 4 guarantees the expected error is

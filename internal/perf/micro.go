@@ -8,8 +8,12 @@ import (
 	"testing"
 	"time"
 
+	"nimbus/internal/dataset"
+	"nimbus/internal/market"
+	"nimbus/internal/ml"
 	"nimbus/internal/noise"
 	"nimbus/internal/opt"
+	"nimbus/internal/pricing"
 	"nimbus/internal/rng"
 )
 
@@ -32,7 +36,11 @@ type Microbench struct {
 //     price targets into the arbitrage-free region;
 //   - opt/interpolate-l1/n=20: the Dykstra-style L1 variant;
 //   - noise/gaussian/d=90: the per-sale Gaussian model perturbation at
-//     YearMSD dimensionality — the broker's real-time path.
+//     YearMSD dimensionality — the broker's real-time path;
+//   - market/buy/mem: one full in-memory purchase (quote, perturb,
+//     finalize, ledger append) against a pre-listed offering — the
+//     //lint:hotpath closure end to end, so allocation hoists on the buy
+//     path show up here as allocs/op.
 func Microbenches() []Microbench {
 	dp := benchProblem(100)
 	bf := benchProblem(8)
@@ -81,7 +89,50 @@ func Microbenches() []Microbench {
 				mech.Perturb(optimal, 0.5, src)
 			}
 		}},
+		{Name: "market/buy/mem", Bench: func(b *testing.B) {
+			broker, offering := benchMarket()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := broker.BuyAtQuality(offering, "squared", 50); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
+}
+
+// benchMarket lists one small fixed-seed offering on an in-memory broker
+// (no journal), so the buy kernel isolates the quote-perturb-finalize
+// path from durability I/O.
+func benchMarket() (*market.Broker, string) {
+	d, err := dataset.StandIn("CASP", dataset.GenConfig{Rows: 200, Seed: 7})
+	if err != nil {
+		panic(err) // fixed-seed input; cannot fail
+	}
+	pair, err := dataset.NewPair(d, rng.New(8))
+	if err != nil {
+		panic(err)
+	}
+	seller, err := market.NewSeller(pair, market.Research{
+		Value:  func(e float64) float64 { return 80 / (1 + e) },
+		Demand: func(e float64) float64 { return 1 },
+	})
+	if err != nil {
+		panic(err)
+	}
+	broker := market.NewBroker(9)
+	o, err := broker.List(market.OfferingConfig{
+		Seller:  seller,
+		Model:   ml.LinearRegression{Ridge: 1e-3},
+		Grid:    pricing.DefaultGrid(10),
+		Samples: 30,
+		Seed:    10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return broker, o.Name
 }
 
 // benchProblem mirrors internal/opt's benchmark input: n buyer points with

@@ -86,8 +86,19 @@ func (f *Function) Price(x float64) float64 {
 	if x >= last.X {
 		return last.Price
 	}
-	// Binary search for the bracketing segment.
-	i := sort.Search(len(pts), func(i int) bool { return pts[i].X >= x })
+	// Binary search for the bracketing segment: first i with pts[i].X >= x.
+	// Hand-rolled rather than sort.Search — the closure would allocate on
+	// every price quote, and this sits on the broker's per-request path.
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pts[mid].X < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo
 	a, b := pts[i-1], pts[i]
 	t := (x - a.X) / (b.X - a.X)
 	return a.Price + t*(b.Price-a.Price)

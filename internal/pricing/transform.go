@@ -92,13 +92,24 @@ func (c *ErrorCurve) Err(x float64) float64 {
 func (c *ErrorCurve) XForError(target float64) (float64, error) {
 	last := len(c.Xs) - 1
 	if target < c.Errs[last]-1e-12 {
+		//lint:allocok refusal path: the budget is unattainable and the request is rejected
 		return 0, fmt.Errorf("pricing: best offered error is %v, budget %v: %w", c.Errs[last], target, ErrUnattainable)
 	}
 	if target >= c.Errs[0] {
 		return c.Xs[0], nil
 	}
 	// Errs is non-increasing; find the first index with Errs[i] ≤ target.
-	i := sort.Search(len(c.Errs), func(i int) bool { return c.Errs[i] <= target })
+	// Hand-rolled binary search — a sort.Search closure would allocate on
+	// every error-budget quote, and this sits on the broker's buy path.
+	i, hi := 0, len(c.Errs)
+	for i < hi {
+		mid := int(uint(i+hi) >> 1)
+		if c.Errs[mid] > target {
+			i = mid + 1
+		} else {
+			hi = mid
+		}
+	}
 	// Interpolate within the bracketing segment for a continuous inverse.
 	// Errs is non-increasing, so a segment that is not strictly decreasing
 	// is flat; an ordered comparison detects it without float equality (and
@@ -117,6 +128,8 @@ func (c *ErrorCurve) XForError(target float64) (float64, error) {
 // random models per NCP).
 type TransformConfig struct {
 	// Optimal is the trained optimal model instance h*.
+	//
+	//lint:source TransformConfig.Optimal
 	Optimal []float64
 	// Loss is the reporting error function ε.
 	Loss ml.Loss
