@@ -5,6 +5,11 @@
 //	nimbus-bench -perf run -short -out smoke.json       # CI smoke shape
 //	nimbus-bench -perf compare old.json new.json        # gate on regressions
 //	nimbus-bench -perf validate smoke.json              # schema check only
+//	nimbus-bench -perf micro                            # kernel sweep only, JSON
+//
+// run re-execs itself as `-perf micro` for the kernel sweep, so kernels
+// are always timed in a pristine child process rather than after the
+// load phases have fragmented the allocator.
 //
 // compare exits 0 when every metric is within the noise threshold (or
 // improved), 1 when any metric regressed, and 2 on usage or I/O errors —
@@ -12,11 +17,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"os/signal"
 	"time"
 
@@ -35,12 +43,14 @@ func perfMain(args []string, stdout, stderr io.Writer) int {
 	switch cmd, rest := args[0], args[1:]; cmd {
 	case "run":
 		return perfRun(ctx, rest, stdout, stderr)
+	case "micro":
+		return perfMicro(rest, stdout, stderr)
 	case "compare":
 		return perfCompare(rest, stdout, stderr)
 	case "validate":
 		return perfValidate(rest, stdout, stderr)
 	default:
-		fmt.Fprintf(stderr, "nimbus-bench -perf: unknown subcommand %q (want run, compare or validate)\n", cmd)
+		fmt.Fprintf(stderr, "nimbus-bench -perf: unknown subcommand %q (want run, micro, compare or validate)\n", cmd)
 		return 2
 	}
 }
@@ -58,6 +68,7 @@ func perfRun(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		count    = fs.Int("n", 0, "exact load request count (0 = run for -duration)")
 		seed     = fs.Int64("seed", 42, "seed for the market build and the replayable traffic mix")
 		offers   = fs.Int("offerings", 1, "offerings listed by the load harness (more offerings spread purchases across broker shards)")
+		markets  = fs.Int("markets", 0, "when > 1, also record a multi_load point: the same load profile spread across this many registry tenant markets")
 		jsync    = fs.String("journal-sync", "group", "harness journal fsync policy: always, group, interval or never")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +90,7 @@ func perfRun(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, format+"\n", a...)
 			},
 		},
+		Markets:     *markets,
 		Bench:       *benchNum,
 		GeneratedBy: "nimbus-bench -perf run",
 	}
@@ -88,6 +100,9 @@ func perfRun(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			opts.Load.Count, opts.Load.Duration = 60, 0
 		}
 		opts.Micro.BenchTime = 5 * time.Millisecond
+	}
+	opts.MicroRunner = func(mo perf.MicroOptions) ([]perf.MicroResult, error) {
+		return microInChild(ctx, mo, stderr)
 	}
 	rep, err := perf.Run(ctx, opts)
 	if err != nil {
@@ -109,6 +124,70 @@ func perfRun(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "perf: wrote %s (%d load requests, %d kernels)\n", *out, rep.Load.Requests, len(rep.Micro))
 	return 0
+}
+
+// perfMicro runs the kernel sweep alone and emits the results as a JSON
+// array. It is what `-perf run` re-execs so that kernels are timed in a
+// pristine process: a sweep run in-process after the load phases measures
+// the allocator state the load passes left behind — span fragmentation
+// alone inflates the alloc-heavy kernels past the compare gate's noise
+// band on a small box.
+func perfMicro(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nimbus-bench -perf micro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	benchTime := fs.Duration("benchtime", 0, "per-kernel measurement time (0 = the testing package default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "nimbus-bench -perf micro: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	micro, err := perf.RunMicro(perf.MicroOptions{BenchTime: *benchTime})
+	if err != nil {
+		fmt.Fprintln(stderr, "nimbus-bench -perf micro:", err)
+		return 2
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(micro); err != nil {
+		fmt.Fprintln(stderr, "nimbus-bench -perf micro:", err)
+		return 2
+	}
+	return 0
+}
+
+// microInChild re-execs this binary as `-perf micro` and decodes its
+// stdout, giving the kernel sweep the same fresh-process conditions as a
+// standalone `go test -bench` run. Falls back to the in-process sweep
+// when the executable path is unavailable.
+func microInChild(ctx context.Context, mo perf.MicroOptions, stderr io.Writer) ([]perf.MicroResult, error) {
+	if flag.Lookup("test.v") != nil {
+		// Under `go test` the current executable is the test binary,
+		// which does not speak `-perf micro`; measure in-process.
+		return perf.RunMicro(mo)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "perf: cannot re-exec for kernel sweep (%v); measuring in-process\n", err)
+		return perf.RunMicro(mo)
+	}
+	args := []string{"-perf", "micro"}
+	if mo.BenchTime > 0 {
+		args = append(args, "-benchtime", mo.BenchTime.String())
+	}
+	cmd := exec.CommandContext(ctx, exe, args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("kernel-sweep child process: %w", err)
+	}
+	var micro []perf.MicroResult
+	if err := json.Unmarshal(out.Bytes(), &micro); err != nil {
+		return nil, fmt.Errorf("decoding kernel-sweep child output: %w", err)
+	}
+	return micro, nil
 }
 
 // reportJSON renders a report exactly as WriteFile would, for stdout.

@@ -147,3 +147,25 @@ func TestPerfUsageErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestPerfMicroEmitsKernelJSON pins the child-process contract behind
+// `-perf run`'s re-exec: the micro subcommand emits the kernel sweep as
+// a decodable JSON array of complete results.
+func TestPerfMicroEmitsKernelJSON(t *testing.T) {
+	code, stdout, stderr := runPerf(t, "micro", "-benchtime", "1ms")
+	if code != 0 {
+		t.Fatalf("perf micro exited %d: %s", code, stderr)
+	}
+	var micro []perf.MicroResult
+	if err := json.Unmarshal([]byte(stdout), &micro); err != nil {
+		t.Fatalf("output is not a kernel JSON array: %v", err)
+	}
+	if len(micro) == 0 {
+		t.Fatal("no kernel results")
+	}
+	for _, m := range micro {
+		if m.Name == "" || m.NsPerOp <= 0 || m.Iterations <= 0 {
+			t.Fatalf("incomplete kernel result %+v", m)
+		}
+	}
+}

@@ -5,6 +5,13 @@
 //	nimbus-cli curve -offering Simulated1/linear-regression -loss squared
 //	nimbus-cli buy -offering Simulated1/linear-regression -loss squared -option price-budget -value 25
 //	nimbus-cli journal verify -dir /var/lib/nimbus/journal
+//
+// Against a multi-tenant daemon (nimbusd -data-dir), sellers manage their
+// dataset markets:
+//
+//	nimbus-cli datasets
+//	nimbus-cli list-dataset -id acme-houses -csv houses.csv -task regression -target price -owner acme
+//	nimbus-cli delist-dataset -id acme-houses
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"time"
 
 	"nimbus/internal/journal"
+	"nimbus/internal/registry"
 	"nimbus/internal/server"
 )
 
@@ -30,7 +38,7 @@ func main() {
 
 func run(addr string, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: nimbus-cli [-addr URL] <menu|curve|buy|stats|statement|journal> [flags]")
+		return fmt.Errorf("usage: nimbus-cli [-addr URL] <menu|curve|buy|stats|statement|datasets|list-dataset|delist-dataset|journal> [flags]")
 	}
 	client := server.NewClient(addr)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -139,7 +147,72 @@ func run(addr string, args []string) error {
 			p.Offering, p.Loss, p.X, p.NCP, p.Price, p.ExpectedError, len(p.Weights), p.Weights[0])
 		return nil
 
+	case "datasets":
+		ds, err := client.Datasets(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %-15s %-24s %-6s %10s\n", "DATASET", "OWNER", "SOURCE", "SALES", "GROSS")
+		for _, d := range ds.Datasets {
+			fmt.Printf("%-20s %-15s %-24s %-6d %10.2f\n", d.ID, d.Owner, d.Source, d.Sales, d.Gross)
+		}
+		fmt.Printf("%d market(s), %d sale(s), gross %.2f\n", ds.Markets, ds.Sales, ds.Gross)
+		return nil
+
+	case "list-dataset":
+		fs := flag.NewFlagSet("list-dataset", flag.ContinueOnError)
+		var spec registry.Spec
+		fs.StringVar(&spec.ID, "id", "", "dataset ID, unique among live markets (required)")
+		fs.StringVar(&spec.Owner, "owner", "", "seller the market's payouts accrue to")
+		fs.StringVar(&spec.Generator, "generator", "", "built-in dataset source (mutually exclusive with -csv)")
+		csvPath := fs.String("csv", "", "CSV file to upload as the dataset (mutually exclusive with -generator)")
+		fs.StringVar(&spec.Task, "task", "", "regression or classification (CSV sources)")
+		fs.StringVar(&spec.Target, "target", "", "label column name (CSV sources)")
+		fs.StringVar(&spec.Model, "model", "", "linear-regression, logistic-regression or auto (default: task default)")
+		fs.IntVar(&spec.Rows, "rows", 0, "generated dataset size (generator sources)")
+		fs.IntVar(&spec.Grid, "grid", 0, "offered quality grid size")
+		fs.IntVar(&spec.Samples, "samples", 0, "Monte-Carlo models per grid point")
+		fs.Int64Var(&spec.Seed, "seed", 0, "seed for generation, split and curve estimation")
+		fs.Float64Var(&spec.ValueScale, "value-scale", 0, "seller research: buyers value an error-e model at scale/(1+e)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if spec.ID == "" {
+			return fmt.Errorf("list-dataset: -id is required")
+		}
+		req := server.ListDatasetRequest{Spec: spec}
+		if *csvPath != "" {
+			data, err := os.ReadFile(*csvPath)
+			if err != nil {
+				return fmt.Errorf("list-dataset: %w", err)
+			}
+			req.CSV = true
+			req.Data = string(data)
+		}
+		d, err := client.ListDataset(ctx, req)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("listed %s (%s)\n  offerings: %v\n", d.Spec.ID, d.Spec.Source(), d.Offerings)
+		return nil
+
+	case "delist-dataset":
+		fs := flag.NewFlagSet("delist-dataset", flag.ContinueOnError)
+		id := fs.String("id", "", "dataset ID (required)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *id == "" {
+			return fmt.Errorf("delist-dataset: -id is required")
+		}
+		st, err := client.DelistDataset(ctx, *id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("delisted %s — final statement:\n", *id)
+		return st.Write(os.Stdout)
+
 	default:
-		return fmt.Errorf("unknown command %q (want menu, curve, buy, stats, statement or journal)", cmd)
+		return fmt.Errorf("unknown command %q (want menu, curve, buy, stats, statement, datasets, list-dataset, delist-dataset or journal)", cmd)
 	}
 }

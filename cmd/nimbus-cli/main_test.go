@@ -12,6 +12,7 @@ import (
 	"nimbus/internal/market"
 	"nimbus/internal/ml"
 	"nimbus/internal/pricing"
+	"nimbus/internal/registry"
 	"nimbus/internal/rng"
 	"nimbus/internal/server"
 )
@@ -63,6 +64,60 @@ func TestCLICommands(t *testing.T) {
 	}
 	if err := run(addr, []string{"buy", "-offering", offering, "-loss", "squared", "-option", "quality", "-value", "3"}); err != nil {
 		t.Fatalf("buy: %v", err)
+	}
+}
+
+// TestCLIDatasetCommands walks a seller's lifecycle against a multi-tenant
+// daemon: list a CSV dataset, browse the marketplace, delist it.
+func TestCLIDatasetCommands(t *testing.T) {
+	r, err := registry.Open(registry.Config{Commission: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	srv := httptest.NewServer(server.NewMulti(r, server.WithLogger(func(string, ...any) {})))
+	t.Cleanup(srv.Close)
+
+	csvPath := filepath.Join(t.TempDir(), "houses.csv")
+	var buf []byte
+	buf = append(buf, "sqft,age,price\n"...)
+	for i := 0; i < 120; i++ {
+		buf = append(buf, fmt.Sprintf("%d,%d,%d\n", 800+7*i, i%40, 50000+93*i)...)
+	}
+	if err := os.WriteFile(csvPath, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run(srv.URL, []string{"list-dataset",
+		"-id", "acme-houses", "-owner", "acme",
+		"-csv", csvPath, "-task", "regression", "-target", "price",
+		"-grid", "8", "-samples", "24", "-seed", "5"}); err != nil {
+		t.Fatalf("list-dataset: %v", err)
+	}
+	if err := run(srv.URL, []string{"datasets"}); err != nil {
+		t.Fatalf("datasets: %v", err)
+	}
+	if err := run(srv.URL, []string{"buy", "-offering", "acme-houses/linear-regression",
+		"-loss", "squared", "-option", "quality", "-value", "2"}); err != nil {
+		t.Fatalf("buy from listed dataset: %v", err)
+	}
+	if err := run(srv.URL, []string{"delist-dataset", "-id", "acme-houses"}); err != nil {
+		t.Fatalf("delist-dataset: %v", err)
+	}
+	if r.Count() != 0 {
+		t.Fatalf("market still live after delist: %d", r.Count())
+	}
+
+	// Flag validation and server-side failures surface as errors.
+	for i, args := range [][]string{
+		{"list-dataset"}, // missing -id
+		{"list-dataset", "-id", "x", "-csv", filepath.Join(t.TempDir(), "missing.csv")}, // unreadable file
+		{"delist-dataset"},                       // missing -id
+		{"delist-dataset", "-id", "acme-houses"}, // already gone -> 404
+	} {
+		if err := run(srv.URL, args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
 	}
 }
 

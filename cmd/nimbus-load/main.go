@@ -12,6 +12,12 @@
 //	nimbus-load -c 32 -duration 10s http://localhost:8080
 //	nimbus-load -n 500 -format json http://localhost:8080
 //	nimbus-load -n 500 -json http://localhost:8080   # perf-schema report
+//	nimbus-load -markets CASP,SUSY -n 500 http://localhost:8080
+//
+// Against a multi-tenant daemon (nimbusd -data-dir), -markets spreads the
+// buyers round-robin (from seeded offsets) across the named dataset
+// markets' tenant-scoped routes; the per-market request counts land in the
+// report.
 //
 // Budgets are derived from the live price–error curves (a random curve
 // point's error or price, inflated by up to 50%), so every generated request
@@ -36,6 +42,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"time"
 
 	"nimbus/internal/loadgen"
@@ -62,7 +69,11 @@ func main() {
 	flag.BoolVar(&opt.PerfJSON, "json", false, "emit a schema-versioned perf report (internal/perf schema, load section) instead of -format output")
 	flag.DurationVar(&opt.Timeout, "timeout", 10*time.Second, "per-request timeout")
 	flag.Float64Var(&opt.Rate, "rate", 40, "aggregate request rate cap in req/s (0 = closed-loop, as fast as responses return)")
+	markets := flag.String("markets", "", "comma-separated dataset IDs: spread traffic round-robin across these tenant markets (multi-tenant daemons only; empty = legacy single-market routes)")
 	flag.Parse()
+	if *markets != "" {
+		opt.Markets = splitMarkets(*markets)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: nimbus-load [flags] <base-url>")
 		flag.Usage()
@@ -136,7 +147,30 @@ func writeReport(w io.Writer, format string, rep loadgen.Report) error {
 	for _, k := range opts {
 		fmt.Fprintf(w, "  %-13s %d\n", k, rep.ByOption[k])
 	}
+	if rep.Markets > 0 {
+		fmt.Fprintf(w, "markets    %d\n", rep.Markets)
+		ids := make([]string, 0, len(rep.ByMarket))
+		for id := range rep.ByMarket {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(w, "  %-13s %d\n", id, rep.ByMarket[id])
+		}
+	}
 	return nil
+}
+
+// splitMarkets parses the -markets flag: comma-separated dataset IDs,
+// whitespace-tolerant, blanks dropped (Config.Validate catches the rest).
+func splitMarkets(s string) []string {
+	var ids []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
 }
 
 func ms(seconds float64) string {

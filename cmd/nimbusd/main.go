@@ -15,6 +15,15 @@
 //   - -ledger: a whole-file JSON snapshot, restored at startup and
 //     written atomically on graceful shutdown only. Survives restarts,
 //     not crashes.
+//
+// -data-dir switches the daemon into multi-tenant registry mode instead:
+// many datasets, each its own market with its own journal under the data
+// directory, served through the /api/v1/datasets routes (the legacy
+// single-market API remains live as the union of every tenant). Startup
+// recovers every listed dataset's manifest and journal; a registry that
+// recovers empty is seeded with the six Table 3 datasets. Mutually
+// exclusive with -journal-dir and -ledger — the registry owns durability
+// per tenant.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"nimbus/internal/market"
 	"nimbus/internal/ml"
 	"nimbus/internal/pricing"
+	"nimbus/internal/registry"
 	"nimbus/internal/server"
 	"nimbus/internal/telemetry"
 )
@@ -55,6 +65,9 @@ type config struct {
 	journalSync     string
 	journalSyncEvry time.Duration
 	journalSegBytes int64
+
+	dataDir    string
+	tenantRate float64
 }
 
 func main() {
@@ -71,6 +84,8 @@ func main() {
 	flag.StringVar(&cfg.journalSync, "journal-sync", "interval", "journal fsync policy: always, group, interval or never")
 	flag.DurationVar(&cfg.journalSyncEvry, "journal-sync-every", journal.DefaultSyncEvery, "flush interval under -journal-sync=interval")
 	flag.Int64Var(&cfg.journalSegBytes, "journal-segment-bytes", journal.DefaultSegmentBytes, "journal segment rotation threshold")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "multi-tenant registry mode: dataset markets live under this directory, each with its own journal (mutually exclusive with -journal-dir and -ledger)")
+	flag.Float64Var(&cfg.tenantRate, "tenant-rate", 0, "per-dataset-market purchase rate limit in registry mode (requests/second; 0 disables)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "nimbusd:", err)
@@ -212,7 +227,129 @@ func buildBroker(scale float64, seed int64, samples, gridN int, logf func(format
 	return broker, nil
 }
 
+// serveUntilSignal runs the HTTP server until SIGINT/SIGTERM or a
+// listener failure, draining in-flight requests on signal. It returns the
+// listener error, if any; persisting the books belongs to the caller,
+// after the drain.
+func serveUntilSignal(addr string, handler http.Handler, ready func()) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		ready()
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case <-ctx.Done():
+		log.Printf("nimbusd: signal received, draining...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("nimbusd: shutdown: %v", err)
+		}
+	}
+	return nil
+}
+
+// seedSuite lists the six Table 3 datasets as tenants of a freshly
+// initialized registry, one market per dataset, IDs matching the paper's
+// names. Row counts follow -scale exactly as the single-market mode does.
+func seedSuite(r *registry.Registry, cfg config, logf func(format string, args ...any)) error {
+	logf("nimbusd: empty registry, seeding the Table 3 suite (scale %g)...", cfg.scale)
+	for i, name := range registry.GeneratorNames() {
+		spec := registry.Spec{
+			ID:        name,
+			Owner:     "nimbus",
+			Generator: name,
+			Rows:      dataset.Table3Rows(name, cfg.scale),
+			Grid:      cfg.gridN,
+			Samples:   cfg.samples,
+			Seed:      cfg.seed + int64(i),
+		}
+		start := time.Now()
+		if _, err := r.List(spec, nil); err != nil {
+			return fmt.Errorf("seeding market %s: %w", name, err)
+		}
+		logf("nimbusd: listed dataset %s (%d rows) in %v", name, spec.Rows, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runMulti is the -data-dir serving mode: a registry of per-dataset
+// markets, recovered from (and journaled under) the data directory.
+func runMulti(cfg config) error {
+	policy, err := journal.ParseSyncPolicy(cfg.journalSync)
+	if err != nil {
+		return err
+	}
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
+	r, err := registry.Open(registry.Config{
+		Root:         cfg.dataDir,
+		Commission:   cfg.commission,
+		Sync:         policy,
+		SyncEvery:    cfg.journalSyncEvry,
+		SegmentBytes: cfg.journalSegBytes,
+		Telemetry:    reg,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	if r.Count() > 0 {
+		log.Printf("nimbusd: registry %s recovered %d dataset market(s)", cfg.dataDir, r.Count())
+	} else if err := seedSuite(r, cfg, log.Printf); err != nil {
+		if cerr := r.Close(); cerr != nil {
+			log.Printf("nimbusd: closing registry: %v", cerr)
+		}
+		return err
+	}
+	opts := []server.Option{server.WithTelemetry(reg)}
+	if cfg.tenantRate > 0 {
+		opts = append(opts, server.WithTenantRate(cfg.tenantRate, int(2*cfg.tenantRate)))
+	}
+	var handler http.Handler = server.NewMulti(r, opts...)
+	if cfg.rate > 0 {
+		rl := server.NewRateLimiter(cfg.rate, int(2*cfg.rate))
+		rl.SetTelemetry(reg)
+		handler = rl.Wrap(handler)
+	}
+	serveErr := serveUntilSignal(cfg.addr, server.WithMiddleware(handler, log.Printf, reg), func() {
+		log.Printf("nimbusd: marketplace open on %s (%d dataset markets, %d offerings)",
+			cfg.addr, r.Count(), len(r.Menu()))
+	})
+	// Close drains every market and compacts each tenant journal; the books
+	// must be persisted even when the listener failed.
+	st := r.Stats()
+	if err := r.Close(); err != nil {
+		if serveErr == nil {
+			serveErr = err
+		} else {
+			log.Printf("nimbusd: closing registry: %v", err)
+		}
+	} else {
+		log.Printf("nimbusd: registry closed: %d markets, %d sales, revenue %.2f",
+			st.Markets, st.Sales, st.Gross)
+	}
+	return serveErr
+}
+
 func run(cfg config) error {
+	if cfg.dataDir != "" {
+		if cfg.ledger != "" || cfg.journalDir != "" {
+			return errors.New("-data-dir is mutually exclusive with -ledger and -journal-dir (the registry journals each tenant under the data directory)")
+		}
+		return runMulti(cfg)
+	}
 	if cfg.ledger != "" && cfg.journalDir != "" {
 		return errors.New("-ledger and -journal-dir are mutually exclusive (the journal subsumes the snapshot file)")
 	}
@@ -246,36 +383,12 @@ func run(cfg config) error {
 		rl.SetTelemetry(reg)
 		handler = rl.Wrap(handler)
 	}
-	srv := &http.Server{
-		Addr:              cfg.addr,
-		Handler:           server.WithMiddleware(handler, log.Printf, reg),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting requests, drain
 	// in-flight sales, then persist the books (journal compaction or the
 	// atomic snapshot) before exiting.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errc := make(chan error, 1)
-	go func() {
+	serveErr := serveUntilSignal(cfg.addr, server.WithMiddleware(handler, log.Printf, reg), func() {
 		log.Printf("nimbusd: marketplace open on %s (%d offerings)", cfg.addr, len(broker.Menu()))
-		errc <- srv.ListenAndServe()
-	}()
-	serveErr := error(nil)
-	select {
-	case err := <-errc:
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			serveErr = err
-		}
-	case <-ctx.Done():
-		log.Printf("nimbusd: signal received, draining...")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutCtx); err != nil {
-			log.Printf("nimbusd: shutdown: %v", err)
-		}
-	}
+	})
 	// Persist the books even when the listener failed: sales may have
 	// completed before the failure.
 	if wal != nil {

@@ -6,7 +6,9 @@ import (
 	"testing"
 	"time"
 
+	"nimbus/internal/journal"
 	"nimbus/internal/market"
+	"nimbus/internal/registry"
 )
 
 func TestBuildBrokerListsAllSixDatasets(t *testing.T) {
@@ -94,6 +96,66 @@ func TestRunRejectsLedgerPlusJournal(t *testing.T) {
 	err := run(config{ledger: "ledger.json", journalDir: "journal"})
 	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
 		t.Fatalf("want mutual-exclusion error, got %v", err)
+	}
+}
+
+func TestRunRejectsDataDirPlusLegacyPersistence(t *testing.T) {
+	for _, cfg := range []config{
+		{dataDir: "data", journalDir: "journal"},
+		{dataDir: "data", ledger: "ledger.json"},
+	} {
+		err := run(cfg)
+		if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+			t.Fatalf("config %+v: want mutual-exclusion error, got %v", cfg, err)
+		}
+	}
+}
+
+// TestSeedSuiteListsAndRecovers drives the registry-mode boot sequence:
+// an empty data directory is seeded with the six Table 3 datasets, and a
+// second boot recovers them from their manifests instead of re-seeding.
+func TestSeedSuiteListsAndRecovers(t *testing.T) {
+	root := t.TempDir()
+	cfg := config{scale: 1e-9, seed: 3, samples: 10, gridN: 4}
+	quiet := func(string, ...any) {}
+	open := func() *registry.Registry {
+		r, err := registry.Open(registry.Config{Root: root, Sync: journal.SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	r := open()
+	if err := seedSuite(r, cfg, quiet); err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 6 || len(r.Menu()) != 6 {
+		t.Fatalf("seeded %d markets, %d offerings", r.Count(), len(r.Menu()))
+	}
+	wantModels := map[string]string{
+		"Simulated1": "linear-regression",
+		"YearMSD":    "linear-regression",
+		"CASP":       "linear-regression",
+		"Simulated2": "logistic-regression",
+		"CovType":    "logistic-regression",
+		"SUSY":       "logistic-regression",
+	}
+	for _, name := range r.Menu() {
+		parts := strings.SplitN(name, "/", 2)
+		if wantModels[parts[0]] != parts[1] {
+			t.Fatalf("offering %s has unexpected model", name)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second boot: everything recovers, so runMulti would skip seeding.
+	r2 := open()
+	defer r2.Close()
+	if r2.Count() != 6 {
+		t.Fatalf("recovered %d markets, want 6", r2.Count())
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nimbus/internal/market"
 	"nimbus/internal/rng"
 	"nimbus/internal/server"
 )
@@ -40,6 +41,11 @@ type Config struct {
 	// Rate caps the aggregate request rate (req/s); 0 runs fully
 	// closed-loop, as fast as responses return.
 	Rate float64
+	// Markets spreads traffic across a multi-tenant daemon: each buyer
+	// round-robins the listed dataset IDs (from a seeded starting offset)
+	// and purchases through the tenant-scoped routes. Empty targets the
+	// legacy single-market API unchanged.
+	Markets []string
 }
 
 // Validate reports the first configuration error, or nil.
@@ -52,6 +58,16 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.Rate < 0 {
 		return fmt.Errorf("rate %v must be non-negative", cfg.Rate)
+	}
+	seen := make(map[string]bool, len(cfg.Markets))
+	for _, id := range cfg.Markets {
+		if id == "" {
+			return errors.New("markets list contains an empty dataset id")
+		}
+		if seen[id] {
+			return fmt.Errorf("market %q listed twice", id)
+		}
+		seen[id] = true
 	}
 	return nil
 }
@@ -74,6 +90,12 @@ type Report struct {
 	// Revenue sums the prices of successful purchases, for cross-checking
 	// against the broker's nimbus_revenue_total series.
 	Revenue float64 `json:"revenue"`
+	// Markets is the number of tenant markets the run spread across
+	// (0 = legacy single-market run).
+	Markets int `json:"markets,omitempty"`
+	// ByMarket counts completed requests per dataset ID (multi-market
+	// runs only).
+	ByMarket map[string]int `json:"by_market,omitempty"`
 }
 
 // target is one (offering, loss) curve a buyer can shop on.
@@ -87,10 +109,18 @@ type curvePoint struct {
 	x, err, price float64
 }
 
+// targetGroup is one market's shoppable curves. Single-market runs use
+// one group with an empty market ID.
+type targetGroup struct {
+	market  string // dataset ID; "" = legacy single-market API
+	targets []target
+}
+
 // workerResult is one buyer's tally, merged after the run.
 type workerResult struct {
 	latencies []float64
 	byOption  map[string]int
+	byMarket  map[string]int
 	errs      int
 	nonOK     int
 	revenue   float64
@@ -103,7 +133,7 @@ func Run(ctx context.Context, client *server.Client, cfg Config) (Report, error)
 	if err := cfg.Validate(); err != nil {
 		return Report{}, err
 	}
-	targets, err := loadTargets(ctx, client)
+	groups, err := loadTargetGroups(ctx, client, cfg.Markets)
 	if err != nil {
 		return Report{}, err
 	}
@@ -143,22 +173,56 @@ func Run(ctx context.Context, client *server.Client, cfg Config) (Report, error)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = buyer(runCtx, client, targets, rng.New(cfg.Seed+int64(i)), claim, tick)
+			results[i] = buyer(runCtx, client, groups, rng.New(cfg.Seed+int64(i)), claim, tick)
 		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	rep := merge(results, elapsed)
+	rep.Markets = len(cfg.Markets)
 	if ctx.Err() != nil && rep.Requests == 0 {
 		return rep, ctx.Err()
 	}
 	return rep, nil
 }
 
-// loadTargets fetches the menu and every per-loss price–error curve.
-func loadTargets(ctx context.Context, client *server.Client) ([]target, error) {
-	menu, err := client.Menu(ctx)
+// loadTargetGroups fetches the shoppable curves: the whole menu as one
+// group for single-market runs, or one group per tenant market fetched
+// through the tenant-scoped routes.
+func loadTargetGroups(ctx context.Context, client *server.Client, markets []string) ([]targetGroup, error) {
+	if len(markets) == 0 {
+		targets, err := loadTargets(ctx, client, "")
+		if err != nil {
+			return nil, err
+		}
+		return []targetGroup{{targets: targets}}, nil
+	}
+	groups := make([]targetGroup, 0, len(markets))
+	for _, id := range markets {
+		targets, err := loadTargets(ctx, client, id)
+		if err != nil {
+			return nil, fmt.Errorf("market %s: %w", id, err)
+		}
+		groups = append(groups, targetGroup{market: id, targets: targets})
+	}
+	return groups, nil
+}
+
+// loadTargets fetches one menu and every per-loss price–error curve;
+// market "" uses the legacy single-market routes.
+func loadTargets(ctx context.Context, client *server.Client, market string) ([]target, error) {
+	fetchMenu := func() (*server.MenuResponse, error) { return client.Menu(ctx) }
+	fetchCurve := func(offering, loss string) (*server.CurveResponse, error) {
+		return client.Curve(ctx, offering, loss)
+	}
+	if market != "" {
+		fetchMenu = func() (*server.MenuResponse, error) { return client.TenantMenu(ctx, market) }
+		fetchCurve = func(offering, loss string) (*server.CurveResponse, error) {
+			return client.TenantCurve(ctx, market, offering, loss)
+		}
+	}
+	menu, err := fetchMenu()
 	if err != nil {
 		return nil, fmt.Errorf("fetching menu: %w", err)
 	}
@@ -168,7 +232,7 @@ func loadTargets(ctx context.Context, client *server.Client) ([]target, error) {
 	var targets []target
 	for _, o := range menu.Offerings {
 		for _, loss := range o.Losses {
-			curve, err := client.Curve(ctx, o.Name, loss)
+			curve, err := fetchCurve(o.Name, loss)
 			if err != nil {
 				return nil, fmt.Errorf("fetching curve %s/%s: %w", o.Name, loss, err)
 			}
@@ -208,10 +272,17 @@ func nextRequest(rnd *rng.Source, targets []target) server.BuyRequest {
 	return req
 }
 
-// buyer is one closed-loop worker: claim a slot, pick a curve and option,
-// buy, record, repeat.
-func buyer(ctx context.Context, client *server.Client, targets []target, rnd *rng.Source, claim func() bool, tick <-chan time.Time) workerResult {
+// buyer is one closed-loop worker: claim a slot, pick a market (round-
+// robin from a seeded start), pick a curve and option, buy, record,
+// repeat. With one group the market rotation degenerates to the legacy
+// single-market loop and draws nothing extra from the rng stream.
+func buyer(ctx context.Context, client *server.Client, groups []targetGroup, rnd *rng.Source, claim func() bool, tick <-chan time.Time) workerResult {
 	res := workerResult{byOption: make(map[string]int)}
+	gi := 0
+	if len(groups) > 1 {
+		gi = rnd.Intn(len(groups))
+		res.byMarket = make(map[string]int)
+	}
 	for claim() {
 		if tick != nil {
 			select {
@@ -220,17 +291,31 @@ func buyer(ctx context.Context, client *server.Client, targets []target, rnd *rn
 				return res
 			}
 		}
-		req := nextRequest(rnd, targets)
+		grp := groups[gi]
+		gi = (gi + 1) % len(groups)
+		req := nextRequest(rnd, grp.targets)
 		reqStart := time.Now()
-		p, err := client.Buy(ctx, req)
+		var p *market.Purchase
+		var err error
+		if grp.market == "" {
+			p, err = client.Buy(ctx, req)
+		} else {
+			p, err = client.TenantBuy(ctx, grp.market, req)
+		}
 		res.latencies = append(res.latencies, time.Since(reqStart).Seconds())
 		res.byOption[req.Option]++
+		if res.byMarket != nil {
+			res.byMarket[grp.market]++
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				// The deadline cut this request off mid-flight; drop it
 				// rather than report a spurious failure.
 				res.latencies = res.latencies[:len(res.latencies)-1]
 				res.byOption[req.Option]--
+				if res.byMarket != nil {
+					res.byMarket[grp.market]--
+				}
 				break
 			}
 			res.errs++
@@ -258,6 +343,12 @@ func merge(results []workerResult, elapsed time.Duration) Report {
 		rep.Revenue += r.revenue
 		for k, v := range r.byOption {
 			rep.ByOption[k] += v
+		}
+		for k, v := range r.byMarket {
+			if rep.ByMarket == nil {
+				rep.ByMarket = make(map[string]int)
+			}
+			rep.ByMarket[k] += v
 		}
 	}
 	rep.Requests = len(all)

@@ -56,10 +56,11 @@ const brokerShards = 16
 // commit queue that group-orders journal appends with ledger appends.
 type shard struct {
 	mu      sync.RWMutex
-	sales   []Purchase         // guarded by mu
-	payouts map[string]float64 // guarded by mu; seller proceeds per offering
-	fees    float64            // guarded by mu; commission running total
-	revenue float64            // guarded by mu; gross running total
+	sales   []Purchase                // guarded by mu
+	books   map[string]*offeringBooks // guarded by mu; running per-offering totals
+	fees    float64                   // guarded by mu; commission running total
+	revenue float64                   // guarded by mu; gross running total
+	payout  float64                   // guarded by mu; seller-proceeds running total
 
 	// src is this shard's sale-time noise source. Per-shard streams keep
 	// draws replayable (seeded at NewBroker) without a global rng lock.
@@ -79,6 +80,16 @@ type shard struct {
 	jcond    *sync.Cond   // signals batch completion; waiters re-check their batch
 	jbatch   *commitBatch // guarded by jmu; the batch accumulating sales
 	jleading bool         // guarded by jmu; a leader is journaling a batch
+}
+
+// offeringBooks is one offering's running financial totals. An offering
+// hashes onto exactly one shard, so its books live whole in that shard —
+// Statement merges them without ever rescanning the ledger.
+type offeringBooks struct {
+	sales  int
+	gross  float64
+	fees   float64
+	payout float64
 }
 
 // commitBatch is one shard's in-flight group of sales. Its fields are
@@ -245,10 +256,10 @@ func NewBroker(seed int64) *Broker {
 		sh := &b.shards[i]
 		sh.src = rng.NewLocked(seed + int64(i))
 		sh.jcond = sync.NewCond(&sh.jmu)
-		// No other goroutine can reach b yet, but payouts is mu-guarded, so
+		// No other goroutine can reach b yet, but books is mu-guarded, so
 		// honor the contract anyway — one uncontended lock at startup.
 		sh.mu.Lock()
-		sh.payouts = make(map[string]float64)
+		sh.books = make(map[string]*offeringBooks)
 		sh.mu.Unlock()
 	}
 	b.menu.Store(&menuSnapshot{offerings: map[string]*Offering{}})
@@ -561,21 +572,31 @@ func (sh *shard) recordBatch(ps []Purchase) {
 func (sh *shard) recordLocked(p Purchase) {
 	//lint:allocok the ledger is the product; slice doubling amortizes across the shard's sale history
 	sh.sales = append(sh.sales, p)
-	sh.payouts[p.Offering] += p.SellerProceeds
+	bk := sh.books[p.Offering]
+	if bk == nil {
+		//lint:allocok one books entry per offering for the shard's lifetime, amortized over every sale of that offering
+		bk = &offeringBooks{}
+		sh.books[p.Offering] = bk
+	}
+	bk.sales++
+	bk.gross += p.Price
+	bk.fees += p.BrokerFee
+	bk.payout += p.SellerProceeds
 	sh.fees += p.BrokerFee
 	sh.revenue += p.Price
+	sh.payout += p.SellerProceeds
 }
 
 // Payouts returns the seller proceeds accumulated per offering — what the
 // broker owes each seller after taking its cut. The result is a fresh map
-// merged from the shards' running aggregates; no ledger rescan.
+// merged from the shards' running books; no ledger rescan.
 func (b *Broker) Payouts() map[string]float64 {
 	out := make(map[string]float64)
 	for i := range b.shards {
 		sh := &b.shards[i]
 		sh.mu.RLock()
-		for name, v := range sh.payouts {
-			out[name] += v
+		for name, bk := range sh.books {
+			out[name] += bk.payout
 		}
 		sh.mu.RUnlock()
 	}

@@ -76,6 +76,12 @@ func assertAggregatesMatchRescan(t *testing.T, b *Broker) {
 	if got := b.TotalRevenue(); got != wantRevenue {
 		t.Fatalf("TotalRevenue() %v != ledger rescan %v", got, wantRevenue)
 	}
+	// The statement now reads the running books; the ledger rescan is the
+	// test-only cross-check, and the two must agree bit for bit — both
+	// accumulate per shard in ledger order and merge in shard index order.
+	if got, want := b.Statement(), b.rescanStatement(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Statement() from running books %+v\n!= ledger rescan %+v", got, want)
+	}
 }
 
 // TestConcurrentBuyAcrossShards hammers the sharded buy path from every

@@ -25,40 +25,76 @@ type StatementLine struct {
 	Payout   float64 `json:"payout"`
 }
 
-// Statement aggregates the ledger, one shard at a time. This is the slow
-// audit path — it deliberately rescans sales rather than trusting the
-// running aggregates, so the two can be cross-checked in tests.
+// Statement builds the accounting report from the shards' running books —
+// O(offerings), never a ledger rescan. An offering hashes onto exactly one
+// shard, so each line is a copy of that shard's books entry; the totals sum
+// the shard running totals in index order, the same floating-point
+// association recordLocked used to build them. rescanStatement (test-only)
+// rebuilds the identical report from the raw ledger so the two stay
+// bit-for-bit cross-checkable.
 func (b *Broker) Statement() *Statement {
-	byOffering := map[string]*StatementLine{}
 	st := &Statement{}
 	for i := range b.shards {
 		sh := &b.shards[i]
 		sh.mu.RLock()
+		for name, bk := range sh.books {
+			st.Lines = append(st.Lines, StatementLine{
+				Offering: name,
+				Sales:    bk.sales,
+				Gross:    bk.gross,
+				Fees:     bk.fees,
+				Payout:   bk.payout,
+			})
+		}
+		st.Sales += len(sh.sales)
+		st.Gross += sh.revenue
+		st.BrokerFees += sh.fees
+		st.Payouts += sh.payout
+		sh.mu.RUnlock()
+	}
+	sort.Slice(st.Lines, func(i, j int) bool { return st.Lines[i].Offering < st.Lines[j].Offering })
+	return st
+}
+
+// rescanStatement rebuilds the statement from the raw ledger, one shard at
+// a time. It exists only as the audit cross-check for the running books:
+// per shard it replays the sales in ledger order — the order recordLocked
+// folded them into the books — and combines shard subtotals in index
+// order, so a correct broker produces a bit-identical Statement both ways.
+// Production reads go through Statement; tests assert the equivalence.
+func (b *Broker) rescanStatement() *Statement {
+	st := &Statement{}
+	for i := range b.shards {
+		sh := &b.shards[i]
+		lines := map[string]*StatementLine{}
+		var sales int
+		var gross, fees, payout float64
+		sh.mu.RLock()
 		for _, p := range sh.sales {
-			line, ok := byOffering[p.Offering]
+			line, ok := lines[p.Offering]
 			if !ok {
 				line = &StatementLine{Offering: p.Offering}
-				byOffering[p.Offering] = line
+				lines[p.Offering] = line
 			}
 			line.Sales++
 			line.Gross += p.Price
 			line.Fees += p.BrokerFee
 			line.Payout += p.SellerProceeds
-			st.Sales++
-			st.Gross += p.Price
-			st.BrokerFees += p.BrokerFee
-			st.Payouts += p.SellerProceeds
+			sales++
+			gross += p.Price
+			fees += p.BrokerFee
+			payout += p.SellerProceeds
 		}
 		sh.mu.RUnlock()
+		for _, line := range lines {
+			st.Lines = append(st.Lines, *line)
+		}
+		st.Sales += sales
+		st.Gross += gross
+		st.BrokerFees += fees
+		st.Payouts += payout
 	}
-	names := make([]string, 0, len(byOffering))
-	for name := range byOffering {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		st.Lines = append(st.Lines, *byOffering[name])
-	}
+	sort.Slice(st.Lines, func(i, j int) bool { return st.Lines[i].Offering < st.Lines[j].Offering })
 	return st
 }
 

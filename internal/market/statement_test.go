@@ -3,6 +3,7 @@ package market
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -37,6 +38,9 @@ func TestStatementAggregation(t *testing.T) {
 	line := st.Lines[0]
 	if line.Offering != o.Name || line.Sales != 3 {
 		t.Fatalf("line %+v", line)
+	}
+	if want := b.rescanStatement(); !reflect.DeepEqual(st, want) {
+		t.Fatalf("aggregate statement %+v != ledger rescan %+v", st, want)
 	}
 
 	var buf bytes.Buffer

@@ -100,6 +100,16 @@ func Compare(oldR, newR *Report, opts CompareOptions) *Comparison {
 			c.addLatency("load/server", *oldR.Load.Server, *newR.Load.Server, opts.LoadThreshold)
 		}
 	}
+	// The multi-tenant load point is diffed only when both trajectory points
+	// carry it — BENCH files recorded before the registry existed simply
+	// contribute no multi_load deltas, the same contract as load/server.
+	if oldR.MultiLoad != nil && newR.MultiLoad != nil {
+		c.add("multi_load/qps", oldR.MultiLoad.QPS, newR.MultiLoad.QPS, true, opts.LoadThreshold)
+		c.addLatency("multi_load/client", oldR.MultiLoad.Client, newR.MultiLoad.Client, opts.LoadThreshold)
+		if oldR.MultiLoad.Server != nil && newR.MultiLoad.Server != nil {
+			c.addLatency("multi_load/server", *oldR.MultiLoad.Server, *newR.MultiLoad.Server, opts.LoadThreshold)
+		}
+	}
 
 	oldMicro := make(map[string]MicroResult, len(oldR.Micro))
 	for _, m := range oldR.Micro {

@@ -14,6 +14,7 @@ import (
 	"nimbus/internal/market"
 	"nimbus/internal/ml"
 	"nimbus/internal/pricing"
+	"nimbus/internal/registry"
 	"nimbus/internal/rng"
 	"nimbus/internal/server"
 	"nimbus/internal/telemetry"
@@ -46,6 +47,13 @@ type LoadOptions struct {
 	// concurrent sales amortized into shared fsyncs — the policy the
 	// sharded buy path is built around.
 	Sync string
+	// Markets, when > 1, switches the harness to the multi-tenant shape: a
+	// registry under a temp root lists this many one-offering markets (each
+	// with its own journal), the full daemon stack serves them through the
+	// tenant routes, and loadgen round-robins buys across all of them. The
+	// zero value (and 1) keeps the legacy single-broker path untouched, so
+	// existing trajectory points stay comparable.
+	Markets int
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -88,6 +96,9 @@ func (o *LoadOptions) setDefaults() {
 // latency back from the buy route's telemetry histogram.
 func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 	opts.setDefaults()
+	if opts.Markets > 1 {
+		return runMultiLoad(ctx, opts)
+	}
 
 	policy, err := journal.ParseSyncPolicy(opts.Sync)
 	if err != nil {
@@ -216,6 +227,120 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 	return &res, nil
 }
 
+// runMultiLoad is the Markets > 1 harness: a registry under a temp root,
+// one cheap listing per market (each paying its own journal's durability
+// cost under the selected policy), served through the tenant routes with
+// the same middleware + telemetry stack, driven by loadgen's round-robin
+// multi-market mix. The server-side latency comes from the tenant buy
+// route's histogram — the series a multi-tenant scrape would export.
+func runMultiLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
+	policy, err := journal.ParseSyncPolicy(opts.Sync)
+	if err != nil {
+		return nil, err
+	}
+	root, err := os.MkdirTemp("", "nimbus-perf-registry-")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		//lint:ignore no-dropped-error the registry root is throwaway measurement state; a leaked temp dir is not worth failing a report over
+		os.RemoveAll(root)
+	}()
+
+	reg := telemetry.NewRegistry()
+	r, err := registry.Open(registry.Config{
+		Root:      root,
+		Sync:      policy,
+		Telemetry: reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("opening registry: %w", err)
+	}
+	opts.Logf("perf: listing %d tenant market(s) (rows=%d grid=%d samples=%d)...",
+		opts.Markets, opts.Rows, opts.Grid, opts.Samples)
+	ids := make([]string, opts.Markets)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("market-%02d", i+1)
+		// The same derived-seed progression the single-broker harness uses
+		// for extra offerings, so the per-market curves differ the same way.
+		if _, err := r.List(registry.Spec{
+			ID:        ids[i],
+			Generator: "CASP",
+			Rows:      opts.Rows,
+			Grid:      opts.Grid,
+			Samples:   opts.Samples,
+			Seed:      opts.Seed + int64(i)*101,
+		}, nil); err != nil {
+			closeRegistry(r, opts.Logf)
+			return nil, fmt.Errorf("listing market %s: %w", ids[i], err)
+		}
+	}
+
+	quiet := func(string, ...any) {}
+	handler := server.WithMiddleware(
+		server.NewMulti(r, server.WithLogger(quiet), server.WithTelemetry(reg)), quiet, reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		closeRegistry(r, opts.Logf)
+		return nil, err
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	cfg := loadgen.Config{
+		Concurrency: opts.Concurrency,
+		Duration:    opts.Duration,
+		Count:       opts.Count,
+		Seed:        opts.Seed,
+		Rate:        0, // uncorked, as the single-broker harness runs
+		Markets:     ids,
+	}
+	client := &server.Client{
+		BaseURL: "http://" + ln.Addr().String(),
+		HTTPClient: &http.Client{
+			Timeout:   10 * time.Second,
+			Transport: &http.Transport{MaxIdleConnsPerHost: opts.Concurrency},
+		},
+	}
+	opts.Logf("perf: driving multi-market load (markets=%d c=%d duration=%v count=%d seed=%d)...",
+		opts.Markets, cfg.Concurrency, cfg.Duration, cfg.Count, cfg.Seed)
+	rep, runErr := loadgen.Run(ctx, client, cfg)
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		opts.Logf("perf: harness server shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		opts.Logf("perf: harness server: %v", err)
+	}
+	closeRegistry(r, opts.Logf)
+	if runErr != nil {
+		return nil, runErr
+	}
+	if rep.Errors > 0 {
+		return nil, fmt.Errorf("multi-market load run hit %d errors (%d non-2xx) out of %d requests; refusing to record a poisoned trajectory point",
+			rep.Errors, rep.NonOK, rep.Requests)
+	}
+
+	res := LoadResultFrom(rep, cfg)
+	res.Offerings = opts.Markets // one offering per market
+	res.JournalSync = policy.String()
+	h := reg.Histogram("nimbus_http_request_seconds", nil, "route", "POST /api/v1/datasets/{id}/buy")
+	qs := h.Quantiles(0.50, 0.95, 0.99)
+	res.Server = &LatencySummary{P50: qs[0], P95: qs[1], P99: qs[2]}
+	return &res, nil
+}
+
+// closeRegistry drains and closes the harness registry; failures are
+// logged only, matching closeJournal.
+func closeRegistry(r *registry.Registry, logf func(string, ...any)) {
+	if err := r.Close(); err != nil {
+		logf("perf: closing registry: %v", err)
+	}
+}
+
 // closeJournal flushes and closes the harness journal; failures are logged
 // only — the measurement is already taken and the journal is throwaway.
 func closeJournal(wal *journal.Journal, logf func(string, ...any)) {
@@ -227,8 +352,18 @@ func closeJournal(wal *journal.Journal, logf func(string, ...any)) {
 // RunOptions configures a full trajectory recording.
 type RunOptions struct {
 	Load LoadOptions
+	// Markets, when > 1, records a second load pass spread across that many
+	// registry tenant markets (the same Load profile otherwise), stored as
+	// the report's multi_load section.
+	Markets int
 	// Micro configures the kernel sweep.
 	Micro MicroOptions
+	// MicroRunner overrides how the kernel sweep is executed; nil means
+	// RunMicro in this process. cmd/nimbus-bench points it at a fresh
+	// child process: an in-process sweep runs after the load phases, and
+	// the allocator state they leave behind (span fragmentation, grown
+	// heap) inflates the alloc-heavy kernels by >10% on a small box.
+	MicroRunner func(MicroOptions) ([]MicroResult, error)
 	// Bench is the trajectory point number stamped on the report (the n
 	// in BENCH_<n>.json); 0 for ad-hoc runs.
 	Bench int
@@ -250,11 +385,24 @@ func Run(ctx context.Context, opts RunOptions) (*Report, error) {
 		return nil, fmt.Errorf("load harness: %w", err)
 	}
 	r.Load = load
+	if opts.Markets > 1 {
+		mopts := opts.Load
+		mopts.Markets = opts.Markets
+		multi, err := RunLoad(ctx, mopts)
+		if err != nil {
+			return nil, fmt.Errorf("multi-market load harness: %w", err)
+		}
+		r.MultiLoad = multi
+	}
 	if opts.Load.Logf != nil {
 		opts.Load.Logf("perf: load done (%d requests, %.0f qps); running %d kernel benches...",
 			load.Requests, load.QPS, len(Microbenches()))
 	}
-	micro, err := RunMicro(opts.Micro)
+	runMicro := opts.MicroRunner
+	if runMicro == nil {
+		runMicro = RunMicro
+	}
+	micro, err := runMicro(opts.Micro)
 	if err != nil {
 		return nil, fmt.Errorf("microbenches: %w", err)
 	}

@@ -51,6 +51,68 @@ func TestRunLoadInProcess(t *testing.T) {
 	}
 }
 
+// TestRunMultiLoadInProcess drives the Markets > 1 harness shape — a
+// registry under a temp root, tenant routes, round-robin traffic — and
+// checks the multi point is complete and correctly stamped.
+func TestRunMultiLoadInProcess(t *testing.T) {
+	opts := shortLoad()
+	opts.Markets = 3
+	res, err := RunLoad(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 60 || res.Errors != 0 {
+		t.Errorf("requests=%d errors=%d, want 60 and 0", res.Requests, res.Errors)
+	}
+	if res.Markets != 3 || res.Offerings != 3 {
+		t.Errorf("markets=%d offerings=%d, want 3 and 3", res.Markets, res.Offerings)
+	}
+	if res.Server == nil || res.Server.P50 <= 0 {
+		t.Fatalf("tenant buy route histogram not read back: %+v", res.Server)
+	}
+	if err := res.validate(); err != nil {
+		t.Errorf("multi-market load result invalid: %v", err)
+	}
+}
+
+// TestRunRecordsMultiLoadSection checks the trajectory pipeline stores the
+// second load pass as multi_load and that the point survives a JSON
+// round-trip through the schema gate.
+func TestRunRecordsMultiLoadSection(t *testing.T) {
+	rep, err := Run(context.Background(), RunOptions{
+		Load:        shortLoad(),
+		Markets:     2,
+		Micro:       MicroOptions{BenchTime: 2 * time.Millisecond},
+		GeneratedBy: "perf test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MultiLoad == nil || rep.MultiLoad.Markets != 2 {
+		t.Fatalf("multi_load section missing or unstamped: %+v", rep.MultiLoad)
+	}
+	if rep.Load.Markets != 0 {
+		t.Errorf("single-market load stamped markets=%d, want 0", rep.Load.Markets)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report with multi_load fails the schema gate: %v", err)
+	}
+	// Self-compare covers the multi_load deltas too.
+	c := Compare(rep, rep, CompareOptions{})
+	if c.HasRegression() {
+		t.Errorf("self-compare found regressions: %+v", c.Regressions())
+	}
+	var multiDeltas int
+	for _, d := range c.Deltas {
+		if len(d.Metric) > 10 && d.Metric[:10] == "multi_load" {
+			multiDeltas++
+		}
+	}
+	if multiDeltas == 0 {
+		t.Error("Compare produced no multi_load deltas for two reports that both carry the section")
+	}
+}
+
 // TestRunMicroShort runs the kernel suite at a tiny benchtime and checks
 // every kernel reports positive measurements.
 func TestRunMicroShort(t *testing.T) {
@@ -101,5 +163,30 @@ func TestRunFullTrajectoryPoint(t *testing.T) {
 	c := Compare(rep, rep, CompareOptions{})
 	if c.HasRegression() {
 		t.Errorf("self-compare of a fresh report found regressions: %+v", c.Regressions())
+	}
+}
+
+// TestRunUsesMicroRunner checks the kernel-sweep override hook: when a
+// runner is supplied (cmd/nimbus-bench re-execs into a child process),
+// Run must take the sweep from it, options passed through intact.
+func TestRunUsesMicroRunner(t *testing.T) {
+	canned := []MicroResult{{Name: "opt/fake/n=1", NsPerOp: 1, AllocsPerOp: 0, Iterations: 1}}
+	var gotOpts MicroOptions
+	rep, err := Run(context.Background(), RunOptions{
+		Load:  shortLoad(),
+		Micro: MicroOptions{BenchTime: 7 * time.Millisecond},
+		MicroRunner: func(mo MicroOptions) ([]MicroResult, error) {
+			gotOpts = mo
+			return canned, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOpts.BenchTime != 7*time.Millisecond {
+		t.Errorf("runner got options %+v, want the configured benchtime", gotOpts)
+	}
+	if len(rep.Micro) != 1 || rep.Micro[0].Name != "opt/fake/n=1" {
+		t.Errorf("micro section %+v, want the runner's result", rep.Micro)
 	}
 }

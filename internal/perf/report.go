@@ -40,10 +40,15 @@ type Report struct {
 	// Zero for ad-hoc runs.
 	Bench int `json:"bench,omitempty"`
 	// GeneratedBy records the producing command line, for provenance.
-	GeneratedBy string        `json:"generated_by,omitempty"`
-	Env         Env           `json:"env"`
-	Load        *LoadResult   `json:"load,omitempty"`
-	Micro       []MicroResult `json:"micro,omitempty"`
+	GeneratedBy string      `json:"generated_by,omitempty"`
+	Env         Env         `json:"env"`
+	Load        *LoadResult `json:"load,omitempty"`
+	// MultiLoad is the multi-tenant buy-path measurement: the same harness
+	// shape as Load but spread round-robin across several registry markets,
+	// each with its own journal. Absent on points recorded before the
+	// registry existed; Compare diffs it only when both points carry it.
+	MultiLoad *LoadResult   `json:"multi_load,omitempty"`
+	Micro     []MicroResult `json:"micro,omitempty"`
 }
 
 // Env is the environment fingerprint stamped on every report.
@@ -69,6 +74,9 @@ type LoadResult struct {
 	// points should know when the profiles differ.
 	Offerings      int     `json:"offerings,omitempty"`
 	JournalSync    string  `json:"journal_sync,omitempty"`
+	// Markets records how many tenant markets the traffic was spread
+	// across (0 or absent = the legacy single-market routes).
+	Markets        int     `json:"markets,omitempty"`
 	Requests       int     `json:"requests"`
 	Errors         int     `json:"errors"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
@@ -110,6 +118,7 @@ func LoadResultFrom(rep loadgen.Report, cfg loadgen.Config) LoadResult {
 	return LoadResult{
 		Concurrency:    cfg.Concurrency,
 		Seed:           cfg.Seed,
+		Markets:        rep.Markets,
 		Requests:       rep.Requests,
 		Errors:         rep.Errors,
 		ElapsedSeconds: rep.Elapsed,
@@ -143,12 +152,20 @@ func (r *Report) Validate() error {
 	if r.Env.NumCPU <= 0 {
 		return fmt.Errorf("env num_cpu %d must be positive", r.Env.NumCPU)
 	}
-	if r.Load == nil && len(r.Micro) == 0 {
+	if r.Load == nil && r.MultiLoad == nil && len(r.Micro) == 0 {
 		return errors.New("report has neither a load section nor micro results")
 	}
 	if r.Load != nil {
 		if err := r.Load.validate(); err != nil {
 			return fmt.Errorf("load: %w", err)
+		}
+	}
+	if r.MultiLoad != nil {
+		if err := r.MultiLoad.validate(); err != nil {
+			return fmt.Errorf("multi_load: %w", err)
+		}
+		if r.MultiLoad.Markets < 2 {
+			return fmt.Errorf("multi_load: markets %d must be at least 2", r.MultiLoad.Markets)
 		}
 	}
 	seen := make(map[string]bool, len(r.Micro))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -136,7 +137,9 @@ type routeCache struct {
 
 func (rc *routeCache) get(reg *telemetry.Registry, method, path string) *routeStats {
 	key := [2]string{method, path}
-	if !knownRoutes[path] || !knownMethods[method] {
+	if norm, ok := normalizeRoute(path); ok && knownMethods[method] {
+		key[1] = norm
+	} else {
 		key = [2]string{"", "(other)"}
 	}
 	// Manual RUnlock: an RWMutex cannot upgrade, so the miss path below
@@ -187,6 +190,38 @@ var knownRoutes = map[string]bool{
 	"/api/v1/statement": true,
 	"/api/v1/offerings": true,
 	"/api/v1/metrics":   true,
+	"/api/v1/datasets":  true,
+}
+
+// tenantSubRoutes are the per-dataset sub-resources; any dataset ID in the
+// path collapses into the "{id}" pattern so tenant churn cannot grow the
+// route label set.
+var tenantSubRoutes = map[string]bool{
+	"menu": true, "curve": true, "buy": true, "stats": true, "statement": true,
+}
+
+const datasetsPrefix = "/api/v1/datasets/"
+
+// normalizeRoute maps a request path onto its route pattern: exact matches
+// from knownRoutes, and /api/v1/datasets/<id>[/<sub>] onto the wildcard
+// patterns the mux serves. Everything else is unknown, which the caller
+// collapses into "(other)".
+func normalizeRoute(path string) (string, bool) {
+	if knownRoutes[path] {
+		return path, true
+	}
+	rest, ok := strings.CutPrefix(path, datasetsPrefix)
+	if !ok || rest == "" {
+		return "", false
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		sub := rest[i+1:]
+		if rest[:i] != "" && tenantSubRoutes[sub] {
+			return datasetsPrefix + "{id}/" + sub, true
+		}
+		return "", false
+	}
+	return datasetsPrefix + "{id}", true
 }
 
 // knownMethods bounds the method axis of the route label the same way.

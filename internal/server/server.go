@@ -22,18 +22,27 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sort"
 
 	"nimbus/internal/market"
 	"nimbus/internal/pricing"
+	"nimbus/internal/registry"
 	"nimbus/internal/telemetry"
 )
 
-// Server is an http.Handler serving a broker.
+// Server is an http.Handler serving a broker — either one market (New) or
+// a whole multi-tenant registry of them (NewMulti). The single-market API
+// works identically in both modes; multi mode adds the tenant-scoped
+// /api/v1/datasets surface and treats the legacy routes as the union
+// across tenants (offering names embed the dataset ID, so they stay
+// globally unique).
 type Server struct {
-	broker *market.Broker
-	mux    *http.ServeMux
-	logf   func(format string, args ...any)
-	reg    *telemetry.Registry
+	broker   *market.Broker     // single-market mode; nil under NewMulti
+	registry *registry.Registry // multi-tenant mode; nil under New
+	tenantRL *RateLimiter       // per-tenant purchase budget; nil unless WithTenantRate
+	mux      *http.ServeMux
+	logf     func(format string, args ...any)
+	reg      *telemetry.Registry
 }
 
 // Option customizes a Server.
@@ -52,12 +61,31 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(s *Server) { s.reg = reg }
 }
 
-// New wraps the broker in an HTTP API.
+// New wraps a single broker in an HTTP API.
 func New(b *market.Broker, opts ...Option) *Server {
 	s := &Server{broker: b, mux: http.NewServeMux(), logf: log.Printf}
 	for _, o := range opts {
 		o(s)
 	}
+	s.registerCommon()
+	return s
+}
+
+// NewMulti serves a multi-tenant registry: the single-market API becomes
+// the cross-tenant union, and the /api/v1/datasets routes add listing,
+// delisting and tenant-scoped browsing and buying.
+func NewMulti(r *registry.Registry, opts ...Option) *Server {
+	s := &Server{registry: r, mux: http.NewServeMux(), logf: log.Printf}
+	for _, o := range opts {
+		o(s)
+	}
+	s.registerCommon()
+	s.registerTenantRoutes()
+	return s
+}
+
+// registerCommon mounts the mode-independent API surface.
+func (s *Server) registerCommon() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetricsProm)
 	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetricsJSON)
@@ -68,7 +96,45 @@ func New(b *market.Broker, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /api/v1/statement", s.handleStatement)
 	s.mux.HandleFunc("GET /api/v1/offerings", s.handleOfferings)
 	s.registerUI()
-	return s
+}
+
+// menuNames lists the purchasable offerings: the broker's menu, or in
+// multi mode the union across every live market.
+func (s *Server) menuNames() []string {
+	if s.registry != nil {
+		return s.registry.Menu()
+	}
+	return s.broker.Menu()
+}
+
+// offering resolves an offering by its global name in either mode.
+func (s *Server) offering(name string) (*market.Offering, error) {
+	if s.registry != nil {
+		m, err := s.registry.ResolveOffering(name)
+		if err != nil {
+			return nil, err
+		}
+		return m.Broker.Offering(name)
+	}
+	return s.broker.Offering(name)
+}
+
+// doBuy executes one purchase in either mode. In multi mode the registry
+// routes by offering name and participates in the delist drain protocol.
+func (s *Server) doBuy(offering, loss, option string, value float64) (*market.Purchase, error) {
+	if s.registry != nil {
+		return s.registry.Buy(offering, loss, option, value)
+	}
+	switch option {
+	case "quality":
+		return s.broker.BuyAtQuality(offering, loss, value)
+	case "error-budget":
+		return s.broker.BuyWithErrorBudget(offering, loss, value)
+	case "price-budget":
+		return s.broker.BuyWithPriceBudget(offering, loss, value)
+	default:
+		return nil, fmt.Errorf("unknown option %q (want quality, error-budget or price-budget)", option)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -117,16 +183,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleMenu(w http.ResponseWriter, _ *http.Request) {
-	names := s.broker.Menu()
-	resp := MenuResponse{Offerings: make([]MenuEntry, 0, len(names))}
+// menuEntries assembles menu rows from offering names, skipping names
+// that raced with a concurrent relisting or delisting.
+func menuEntries(names []string, lookup func(string) (*market.Offering, error)) []MenuEntry {
+	entries := make([]MenuEntry, 0, len(names))
 	for _, name := range names {
-		o, err := s.broker.Offering(name)
+		o, err := lookup(name)
 		if err != nil {
-			continue // raced with a concurrent relisting; skip
+			continue
 		}
 		stats := o.Pair.Stats()
-		resp.Offerings = append(resp.Offerings, MenuEntry{
+		entries = append(entries, MenuEntry{
 			Name:            o.Name,
 			Model:           o.Model.Name(),
 			Losses:          o.LossNames(),
@@ -137,7 +204,11 @@ func (s *Server) handleMenu(w http.ResponseWriter, _ *http.Request) {
 			ExpectedRevenue: o.ExpectedRevenue,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return entries
+}
+
+func (s *Server) handleMenu(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, MenuResponse{Offerings: menuEntries(s.menuNames(), s.offering)})
 }
 
 func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
@@ -147,7 +218,7 @@ func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, errors.New("offering and loss query parameters are required"))
 		return
 	}
-	o, err := s.broker.Offering(offering)
+	o, err := s.offering(offering)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, err)
 		return
@@ -168,32 +239,28 @@ func (s *Server) handleBuy(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding buy request: %w", err))
 		return
 	}
-	var p *market.Purchase
-	var err error
-	switch req.Option {
-	case "quality":
-		p, err = s.broker.BuyAtQuality(req.Offering, req.Loss, req.Value)
-	case "error-budget":
-		p, err = s.broker.BuyWithErrorBudget(req.Offering, req.Loss, req.Value)
-	case "price-budget":
-		p, err = s.broker.BuyWithPriceBudget(req.Offering, req.Loss, req.Value)
-	default:
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown option %q (want quality, error-budget or price-budget)", req.Option))
-		return
-	}
+	p, err := s.doBuy(req.Offering, req.Loss, req.Option, req.Value)
 	if err != nil {
-		switch {
-		case errors.Is(err, market.ErrUnknownOffering):
-			s.fail(w, http.StatusNotFound, err)
-		case errors.Is(err, pricing.ErrUnattainable), errors.Is(err, pricing.ErrOverBudget):
-			s.fail(w, http.StatusUnprocessableEntity, err)
-		default:
-			s.fail(w, http.StatusBadRequest, err)
-		}
+		s.failBuy(w, err)
 		return
 	}
 	s.logf("nimbus: sold %s (%s) at x=%.3f for %.2f", p.Offering, p.Loss, p.X, p.Price)
 	writeJSON(w, http.StatusOK, p)
+}
+
+// failBuy maps purchase errors onto status codes; shared by the legacy
+// and tenant-scoped buy handlers.
+func (s *Server) failBuy(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, market.ErrUnknownOffering), errors.Is(err, registry.ErrUnknownMarket):
+		s.fail(w, http.StatusNotFound, err)
+	case errors.Is(err, registry.ErrDelisting):
+		s.fail(w, http.StatusConflict, err)
+	case errors.Is(err, pricing.ErrUnattainable), errors.Is(err, pricing.ErrOverBudget):
+		s.fail(w, http.StatusUnprocessableEntity, err)
+	default:
+		s.fail(w, http.StatusBadRequest, err)
+	}
 }
 
 // StatsResponse is the GET /api/v1/stats payload: the broker's books.
@@ -207,26 +274,77 @@ type StatsResponse struct {
 	Payouts    map[string]float64 `json:"payouts"`
 }
 
+// statsResponse assembles the books in either mode; multi mode sums the
+// per-market running aggregates and unions the payout maps (offering
+// names are globally unique, so the union is collision-free).
+func (s *Server) statsResponse() StatsResponse {
+	if s.registry == nil {
+		return StatsResponse{
+			Offerings:    len(s.broker.Menu()),
+			Sales:        s.broker.SaleCount(),
+			TotalRevenue: s.broker.TotalRevenue(),
+			BrokerFees:   s.broker.TotalFees(),
+			Payouts:      s.broker.Payouts(),
+		}
+	}
+	st := s.registry.Stats()
+	payouts := make(map[string]float64)
+	for _, id := range s.registry.IDs() {
+		m, err := s.registry.Get(id)
+		if err != nil {
+			continue // delisted since IDs(); its rows are gone from the union too
+		}
+		for name, v := range m.Broker.Payouts() {
+			payouts[name] = v
+		}
+	}
+	return StatsResponse{
+		Offerings:    st.Offerings,
+		Sales:        st.Sales,
+		TotalRevenue: st.Gross,
+		BrokerFees:   st.Fees,
+		Payouts:      payouts,
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
-		Offerings:    len(s.broker.Menu()),
-		Sales:        s.broker.SaleCount(),
-		TotalRevenue: s.broker.TotalRevenue(),
-		BrokerFees:   s.broker.TotalFees(),
-		Payouts:      s.broker.Payouts(),
-	})
+	writeJSON(w, http.StatusOK, s.statsResponse())
+}
+
+// statement builds the accounting report; multi mode concatenates the
+// per-market statements (each O(offerings) from the running books) into
+// one marketplace-wide report.
+func (s *Server) statement() *market.Statement {
+	if s.registry == nil {
+		return s.broker.Statement()
+	}
+	merged := &market.Statement{}
+	for _, id := range s.registry.IDs() {
+		m, err := s.registry.Get(id)
+		if err != nil {
+			continue
+		}
+		st := m.Broker.Statement()
+		merged.Lines = append(merged.Lines, st.Lines...)
+		merged.Sales += st.Sales
+		merged.Gross += st.Gross
+		merged.BrokerFees += st.BrokerFees
+		merged.Payouts += st.Payouts
+	}
+	sort.Slice(merged.Lines, func(i, j int) bool { return merged.Lines[i].Offering < merged.Lines[j].Offering })
+	return merged
 }
 
 // handleStatement serves the per-offering accounting report.
 func (s *Server) handleStatement(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.broker.Statement())
+	writeJSON(w, http.StatusOK, s.statement())
 }
 
 // handleOfferings serves the audit snapshots of every listing.
 func (s *Server) handleOfferings(w http.ResponseWriter, _ *http.Request) {
 	snaps := make([]market.OfferingSnapshot, 0)
-	for _, name := range s.broker.Menu() {
-		o, err := s.broker.Offering(name)
+	for _, name := range s.menuNames() {
+		o, err := s.offering(name)
 		if err != nil {
 			continue
 		}

@@ -113,23 +113,8 @@ func (s *Server) handleUIMenu(w http.ResponseWriter, _ *http.Request) {
 		Offerings []MenuEntry
 		Stats     StatsResponse
 	}{
-		Stats: StatsResponse{
-			Offerings:    len(s.broker.Menu()),
-			Sales:        s.broker.SaleCount(),
-			TotalRevenue: s.broker.TotalRevenue(),
-		},
-	}
-	for _, name := range s.broker.Menu() {
-		o, err := s.broker.Offering(name)
-		if err != nil {
-			continue
-		}
-		stats := o.Pair.Stats()
-		page.Offerings = append(page.Offerings, MenuEntry{
-			Name: o.Name, Model: o.Model.Name(), Losses: o.LossNames(),
-			Dataset: o.Pair.Name, TrainRows: stats.N1, TestRows: stats.N2,
-			Features: stats.D, ExpectedRevenue: o.ExpectedRevenue,
-		})
+		Offerings: menuEntries(s.menuNames(), s.offering),
+		Stats:     s.statsResponse(),
 	}
 	s.renderUI(w, uiMenuTmpl, page)
 }
@@ -137,7 +122,7 @@ func (s *Server) handleUIMenu(w http.ResponseWriter, _ *http.Request) {
 // uiOfferingData assembles the offering page (shared between GET and the
 // post-purchase render).
 func (s *Server) uiOfferingData(name string) (*uiOfferingPage, error) {
-	o, err := s.broker.Offering(name)
+	o, err := s.offering(name)
 	if err != nil {
 		return nil, err
 	}
@@ -191,16 +176,7 @@ func (s *Server) handleUIBuy(w http.ResponseWriter, r *http.Request) {
 	}
 	loss := r.PostFormValue("loss")
 	var p *market.Purchase
-	switch option := r.PostFormValue("option"); option {
-	case "quality":
-		p, err = s.broker.BuyAtQuality(offering, loss, value)
-	case "error-budget":
-		p, err = s.broker.BuyWithErrorBudget(offering, loss, value)
-	case "price-budget":
-		p, err = s.broker.BuyWithPriceBudget(offering, loss, value)
-	default:
-		err = fmt.Errorf("unknown option %q", option)
-	}
+	p, err = s.doBuy(offering, loss, r.PostFormValue("option"), value)
 	if err != nil {
 		page.Message = err.Error()
 		page.MessageClass = "err"
