@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	nimbus-lint [-json | -sarif] [-baseline file [-baseline-write]] [-list] [pattern ...]
+//	nimbus-lint [-json | -sarif] [-baseline file [-baseline-write]] [-rules a,b] [-list] [pattern ...]
 //
 // Patterns are go-tool style: a directory, or a directory followed by /...
 // for the whole subtree; the default is ./... . Findings print one per line
@@ -21,8 +21,11 @@
 //
 // -baseline suppresses findings recorded in the named file so that only
 // new findings fail; -baseline-write (re)generates that file from the
-// current findings. -list prints the rule set with the invariant each rule
-// protects.
+// current findings. -rules restricts a run to a comma-separated subset of
+// the rule set — misspelled names are an error, cross-checked against the
+// same list -list prints — which keeps staged CI runs and bisections
+// honest. -list prints the (possibly -rules-filtered) rule set with the
+// invariant each rule protects.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"nimbus/internal/analysis"
 )
@@ -49,8 +53,9 @@ func run(stdout, stderr io.Writer, args []string) int {
 	baselinePath := fs.String("baseline", "", "suppress findings recorded in this `file`; only new findings fail")
 	baselineWrite := fs.Bool("baseline-write", false, "rewrite the -baseline file from the current findings and exit 0")
 	list := fs.Bool("list", false, "list the rules and the invariants they protect")
+	rulesFlag := fs.String("rules", "", "run only these comma-separated rule `names` (default: every rule)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: nimbus-lint [-json | -sarif] [-baseline file [-baseline-write]] [-list] [pattern ...]")
+		fmt.Fprintln(stderr, "usage: nimbus-lint [-json | -sarif] [-baseline file [-baseline-write]] [-rules a,b] [-list] [pattern ...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +80,13 @@ func run(stdout, stderr io.Writer, args []string) int {
 		return 2
 	}
 	rules := analysis.DefaultRules(modPath)
+	if *rulesFlag != "" {
+		rules, err = filterRules(rules, *rulesFlag)
+		if err != nil {
+			fmt.Fprintln(stderr, "nimbus-lint:", err)
+			return 2
+		}
+	}
 	if *list {
 		for _, r := range rules {
 			fmt.Fprintf(stdout, "%-24s %s\n", r.Name(), r.Doc())
@@ -165,4 +177,40 @@ func run(stdout, stderr io.Writer, args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// filterRules restricts the rule set to the comma-separated names in
+// spec, preserving the suite's order. Unknown names are an error listing
+// the valid set, so a typo in a CI step fails loudly instead of silently
+// checking nothing.
+func filterRules(rules []analysis.Rule, spec string) ([]analysis.Rule, error) {
+	byName := make(map[string]analysis.Rule, len(rules))
+	for _, r := range rules {
+		byName[r.Name()] = r
+	}
+	want := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, known := byName[name]; !known {
+			names := make([]string, 0, len(rules))
+			for _, r := range rules {
+				names = append(names, r.Name())
+			}
+			return nil, fmt.Errorf("-rules: unknown rule %q (known: %s)", name, strings.Join(names, ", "))
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("-rules: no rule names given")
+	}
+	out := make([]analysis.Rule, 0, len(want))
+	for _, r := range rules {
+		if want[r.Name()] {
+			out = append(out, r)
+		}
+	}
+	return out, nil
 }

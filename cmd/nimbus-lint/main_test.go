@@ -98,6 +98,42 @@ func TestRunListNamesEveryRule(t *testing.T) {
 	}
 }
 
+func TestRulesFlagFiltersAndValidates(t *testing.T) {
+	// Selecting only an unrelated rule silences the golden package's
+	// no-naked-rand finding.
+	code, stdout, stderr := runLint(t, "-rules", "no-wallclock", goldenNakedRand)
+	if code != 0 {
+		t.Fatalf("filtered run exit = %d, want 0; stdout: %s stderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("filtered run printed findings:\n%s", stdout)
+	}
+	// Selecting the matching rule still reports it.
+	code, stdout, _ = runLint(t, "-rules", "no-naked-rand,no-wallclock", goldenNakedRand)
+	if code != 1 || !strings.Contains(stdout, "no-naked-rand") {
+		t.Errorf("selected rule did not fire: exit = %d, stdout:\n%s", code, stdout)
+	}
+	// -list reflects the filter.
+	code, stdout, _ = runLint(t, "-rules", "unlock-path", "-list")
+	if code != 0 {
+		t.Fatalf("-rules -list exit = %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "unlock-path") || strings.Contains(stdout, "no-naked-rand") {
+		t.Errorf("-list ignored the -rules filter:\n%s", stdout)
+	}
+	// A typo is an error naming the valid set, not a silently empty run.
+	code, _, stderr = runLint(t, "-rules", "no-such-rule", goldenNakedRand)
+	if code != 2 {
+		t.Fatalf("unknown rule: exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "no-such-rule") || !strings.Contains(stderr, "snapshot-immutability") {
+		t.Errorf("error should name the bad rule and the known set: %s", stderr)
+	}
+	if code, _, _ := runLint(t, "-rules", " , ", goldenNakedRand); code != 2 {
+		t.Errorf("empty -rules: exit = %d, want 2", code)
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	if code, _, _ := runLint(t, "-no-such-flag"); code != 2 {
 		t.Errorf("bad flag: exit = %d, want 2", code)

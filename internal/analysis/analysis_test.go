@@ -180,6 +180,7 @@ func TestDefaultRulesCoverTheSuite(t *testing.T) {
 		"no-naked-rand", "no-float-eq", "no-wallclock", "no-dropped-error", "telemetry-label-literal",
 		"mutex-discipline", "lock-order", "goroutine-leak", "unlock-path",
 		"noise-taint", "lock-contract", "hotpath-alloc",
+		"snapshot-immutability", "resource-lifecycle", "waitgroup-balance", "atomic-plain-mix",
 	} {
 		if !names[want] {
 			t.Errorf("DefaultRules is missing %s", want)

@@ -195,6 +195,26 @@ func (g *CallGraph) DynamicTargetsVia(m *types.Func, iface *types.Interface) []*
 	return targets
 }
 
+// StaticCallee resolves a call expression to the single in-group function
+// it must reach, or nil for dynamic dispatch, builtins, function-typed
+// variables and out-of-group targets. Rules that must not guess
+// (provenance, ownership) use this instead of the fan-out edges.
+func (g *CallGraph) StaticCallee(info *types.Info, call *ast.CallExpr) *FuncNode {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok && !IsInterfaceMethod(fn) {
+			return g.byObj[fn]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && !IsInterfaceMethod(fn) {
+			return g.byObj[fn]
+		}
+	case *ast.FuncLit:
+		return g.byLit[fun]
+	}
+	return nil
+}
+
 // IsInterfaceMethod reports whether fn is declared on an interface type,
 // i.e. a call through it dispatches dynamically.
 func IsInterfaceMethod(fn *types.Func) bool {

@@ -102,6 +102,78 @@ b()
 	}
 }
 
+func TestCFGSelectWithDefault(t *testing.T) {
+	// A select with a default never blocks, but control still flows
+	// through exactly one clause: the head branches to every clause
+	// (default included) and nothing else — there is no head→after
+	// shortcut edge like a default-less switch has.
+	g := buildFromSrc(t, "select {\ncase <-ch:\na()\ndefault:\nb()\n}\nuse()")
+	head := g.Entry
+	if len(head.Succs) != 2 {
+		t.Fatalf("select head has %d successors, want one per clause (2)", len(head.Succs))
+	}
+	after := findUse(t, g)
+	clause := make(map[*Block]bool, len(head.Succs))
+	for _, s := range head.Succs {
+		if s == after {
+			t.Error("head has a direct edge to the after block; every path must run a clause")
+		}
+		clause[s] = true
+	}
+	for _, p := range after.Preds {
+		if !clause[p] {
+			t.Errorf("after block has predecessor %d that is not a clause body", p.Index)
+		}
+	}
+	if trapped(g) {
+		t.Error("select with default trapped the function; it never blocks")
+	}
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	// A defer inside a loop body runs once per iteration as far as the
+	// dataflow rules care: its node must land in a block on the loop
+	// cycle, not get hoisted into the head or past the loop.
+	g := buildFromSrc(t, "for i := 0; i < n; i++ {\ndefer cleanup()\nwork()\n}\nuse()")
+	var host *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				host = b
+			}
+		}
+	}
+	if host == nil {
+		t.Fatal("no block holds the DeferStmt node")
+	}
+	if host == g.Entry || host == findUse(t, g) {
+		t.Fatalf("defer landed in block %d, outside the loop body", host.Index)
+	}
+	// The host block must be on the loop cycle: reachable from itself.
+	seen := map[*Block]bool{}
+	queue := append([]*Block(nil), host.Succs...)
+	onCycle := false
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if b == host {
+			onCycle = true
+			break
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		queue = append(queue, b.Succs...)
+	}
+	if !onCycle {
+		t.Error("defer block is not on the loop cycle; per-iteration defers would be lost")
+	}
+	if trapped(g) {
+		t.Error("bounded loop with defer trapped the function")
+	}
+}
+
 // TestForwardReachesFixpoint exercises the dataflow engine with a tiny
 // gen-kill problem over idents: "x" is generated by `gen()` statements
 // and killed by `kill()`, with must-join — mirroring the lockset shape.

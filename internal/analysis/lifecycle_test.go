@@ -1,0 +1,29 @@
+package analysis
+
+import "testing"
+
+// The publication-and-lifecycle rule family: snapshot immutability,
+// resource release, WaitGroup balance, and atomic/plain mixing.
+
+func TestSnapshotImmutabilityGolden(t *testing.T) {
+	checkGolden(t, "snapshot", []Rule{SnapshotImmutability{}})
+}
+
+func TestResourceLifecycleGolden(t *testing.T) {
+	checkGolden(t, "resource", []Rule{ResourceLifecycle{}})
+}
+
+// TestResourceLifecycleCrossPackage proves the owns/takes summaries
+// survive a package boundary: the constructor and the adopting sink
+// live in resipa/lib, the leaks in resipa/app.
+func TestResourceLifecycleCrossPackage(t *testing.T) {
+	checkGoldenGroup(t, "resipa", []Rule{ResourceLifecycle{}})
+}
+
+func TestWaitGroupBalanceGolden(t *testing.T) {
+	checkGolden(t, "waitgroup", []Rule{WaitGroupBalance{}})
+}
+
+func TestAtomicPlainMixGolden(t *testing.T) {
+	checkGolden(t, "atomicmix", []Rule{AtomicPlainMix{}})
+}

@@ -1,0 +1,135 @@
+package analysis
+
+// atomic-plain-mix flags variables that are touched both through the
+// old-style sync/atomic package functions (atomic.AddInt64(&s.hits, 1))
+// and by plain reads or writes. Mixing the two is the classic torn
+// counter: the atomic side establishes a happens-before edge the plain
+// side ignores, so the race detector fires and, on weaker memory
+// models, readers see stale or half-updated values. The rule tracks
+// every variable whose address feeds an atomic package function's first
+// argument and reports any other access to the same variable that is
+// not itself under atomic — including a plain read smuggled into a
+// later argument of an atomic call, as in
+// atomic.StoreInt64(&s.last, s.last+1).
+//
+// The typed wrappers (atomic.Int64, atomic.Pointer) make this mistake
+// unrepresentable, which is why the message suggests them; code already
+// on wrappers never trips the rule.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicPlainMix is the rule.
+type AtomicPlainMix struct{}
+
+func (AtomicPlainMix) Name() string { return "atomic-plain-mix" }
+
+func (AtomicPlainMix) Doc() string {
+	return "a variable updated through sync/atomic package functions must " +
+		"never be read or written plainly; use atomic for every access or " +
+		"migrate to the typed wrappers"
+}
+
+// atomicOpPrefixes are the sync/atomic package-function families.
+var atomicOpPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+// atomicPkgFunc recognizes a call to an old-style sync/atomic package
+// function (not a method on the typed wrappers).
+func atomicPkgFunc(info *types.Info, call *ast.CallExpr) bool {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if sig, isSig := fn.Type().(*types.Signature); !isSig || sig.Recv() != nil {
+		return false
+	}
+	for _, prefix := range atomicOpPrefixes {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicTarget resolves an atomic call's first argument (&x, &s.f) to
+// the variable object it addresses and the identifier naming it.
+func atomicTarget(info *types.Info, call *ast.CallExpr) (types.Object, *ast.Ident) {
+	if len(call.Args) == 0 {
+		return nil, nil
+	}
+	unary, isUnary := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !isUnary || unary.Op != token.AND {
+		return nil, nil
+	}
+	var id *ast.Ident
+	switch e := ast.Unparen(unary.X).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil, nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil, nil
+	}
+	return obj, id
+}
+
+func (r AtomicPlainMix) Inspect(p *Pass) {
+	// Pass 1: every variable addressed by an atomic package function,
+	// with its earliest atomic site and the identifier occurrences that
+	// are sanctioned (the &x inside the atomic calls themselves).
+	tracked := make(map[types.Object]token.Pos)
+	sanctioned := make(map[token.Pos]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall || !atomicPkgFunc(p.Info, call) {
+				return true
+			}
+			obj, id := atomicTarget(p.Info, call)
+			if obj == nil {
+				return true
+			}
+			sanctioned[id.Pos()] = true
+			if prev, seen := tracked[obj]; !seen || call.Pos() < prev {
+				tracked[obj] = call.Pos()
+			}
+			return true
+		})
+	}
+	if len(tracked) == 0 {
+		return
+	}
+	// Pass 2: any other use of a tracked variable is a plain access.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, isIdent := n.(*ast.Ident)
+			if !isIdent || sanctioned[id.Pos()] {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if site, isTracked := tracked[obj]; isTracked {
+				p.Reportf(id.Pos(), "%s is accessed through sync/atomic at line %d but plainly here; every access must be atomic — or migrate the field to a typed wrapper like atomic.Int64",
+					id.Name, p.Fset.Position(site).Line)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,633 @@
+package analysis
+
+// snapshot-immutability enforces the clone-and-swap (RCU) discipline the
+// broker's lock-free menu depends on: a value published through an
+// atomic.Pointer is shared with concurrent readers the instant Store
+// returns, so the only safe mutation window is between cloning the
+// current snapshot and storing the clone. Any write that reaches memory
+// obtained from a Load — directly, through a chain of selectors and
+// indexes, or by passing the loaded value to a callee whose summary says
+// it mutates that parameter — races every reader and is a finding.
+//
+// Two sources make a value "published":
+//
+//   - the result of a Load() on any sync/atomic Pointer[T] — provenance
+//     then flows through selectors, indexes, derefs, range clauses,
+//     reference-typed assignments, and function returns (via bottom-up
+//     summaries, so a helper that returns snap.Load() taints its callers);
+//   - any expression of a type annotated //lint:immutable <why>, unless
+//     the analysis can prove it fresh (a composite literal, new(T), a
+//     value copy, or the result of a function whose every return is
+//     fresh) or it is a bare parameter (so clone methods and the
+//     interprocedural call-site check still work).
+//
+// Mutation summaries are computed bottom-up over the group call graph:
+// writing through a parameter sets that parameter's bit (the receiver is
+// parameter 0), and passing a parameter to a mutating callee propagates
+// the bit, so `bump(snap.Load())` is reported at the call site even when
+// the write is three frames down. Unknown provenance is never reported —
+// the rule is quiet by construction on code that does not touch published
+// pointers or annotated types.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SnapshotImmutability is the group rule. Its per-package Inspect only
+// validates //lint:immutable directives; the real work needs the call
+// graph.
+type SnapshotImmutability struct{}
+
+func (SnapshotImmutability) Name() string { return "snapshot-immutability" }
+
+func (SnapshotImmutability) Doc() string {
+	return "values published via atomic.Pointer (or typed //lint:immutable) may " +
+		"only be mutated between clone and Store; any write reached from a " +
+		"loaded published pointer races concurrent readers"
+}
+
+const immutablePrefix = "//lint:immutable"
+
+// Inspect is a no-op: the rule needs the group call graph.
+func (SnapshotImmutability) Inspect(*Pass) {}
+
+// snapProv is the provenance lattice: where a pointer-like value came
+// from. Only provPublished produces findings; everything uncertain
+// collapses to provUnknown and stays silent.
+type snapProv uint8
+
+const (
+	provUnknown   snapProv = iota
+	provFresh              // locally built, not yet published
+	provParam              // a parameter's value (index in provVal.param)
+	provPublished          // derived from a Load of a published pointer
+	provConflict           // incompatible bindings merged; silent
+)
+
+type provVal struct {
+	kind  snapProv
+	param int
+}
+
+// mergeProv joins two flow-insensitive bindings of one variable.
+func mergeProv(a, b provVal) provVal {
+	if a.kind == provUnknown {
+		return b
+	}
+	if b.kind == provUnknown || a == b {
+		return a
+	}
+	return provVal{kind: provConflict}
+}
+
+// snapSummary is one function's bottom-up summary. Bits index the
+// receiver-then-parameters vector for mutates, and the result tuple for
+// published/fresh. published is may (any return site), fresh is must
+// (every return site).
+type snapSummary struct {
+	mutates   uint64
+	published uint64
+	fresh     uint64
+}
+
+func (r SnapshotImmutability) InspectGroup(gp *GroupPass) {
+	immutable := collectImmutableTypes(gp)
+	an := &snapAnalysis{gp: gp, immutable: immutable}
+	summaries := ComputeSummaries(gp.Graph,
+		func(n *FuncNode, get func(*FuncNode) snapSummary) snapSummary {
+			sum, _ := an.analyze(n, get, false)
+			return sum
+		},
+		func(a, b snapSummary) bool { return a == b })
+	get := func(n *FuncNode) snapSummary { return summaries[n] }
+	for _, n := range gp.Graph.Nodes {
+		an.analyze(n, get, true)
+	}
+}
+
+// collectImmutableTypes gathers //lint:immutable-annotated named types
+// across the group and reports directives without a justification.
+func collectImmutableTypes(gp *GroupPass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	for _, pkg := range gp.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					reason, found := "", false
+					for _, grp := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+						if grp == nil {
+							continue
+						}
+						for _, c := range grp.List {
+							if rest, ok := directiveRest(c.Text, immutablePrefix); ok {
+								reason, found = rest, true
+							}
+						}
+					}
+					if !found {
+						continue
+					}
+					if reason == "" {
+						gp.Reportf(ts.Pos(), "%s needs a reason: %s <why is this type frozen after construction>", immutablePrefix, immutablePrefix)
+						continue
+					}
+					if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+						out[tn] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// snapAnalysis holds the group-wide state shared by every per-function
+// analysis.
+type snapAnalysis struct {
+	gp        *GroupPass
+	immutable map[*types.TypeName]bool
+}
+
+// funcProv is the per-function provenance environment.
+type funcProv struct {
+	an     *snapAnalysis
+	node   *FuncNode
+	info   *types.Info
+	params map[types.Object]int
+	env    map[types.Object]provVal
+	get    func(*FuncNode) snapSummary
+}
+
+// analyze computes a function's summary and, when report is set, emits
+// findings against the final summaries.
+func (an *snapAnalysis) analyze(n *FuncNode, get func(*FuncNode) snapSummary, report bool) (snapSummary, bool) {
+	body := n.Body()
+	if body == nil {
+		return snapSummary{}, false
+	}
+	fp := &funcProv{
+		an:     an,
+		node:   n,
+		info:   n.Pkg.Info,
+		params: paramIndexes(n),
+		env:    make(map[types.Object]provVal),
+		get:    get,
+	}
+	fp.solveEnv(body)
+	var sum snapSummary
+	fp.scanWrites(body, &sum, report)
+	fp.returnBits(n, body, &sum)
+	return sum, true
+}
+
+// paramIndexes maps the receiver (index 0 on methods) and each named
+// parameter object to its position in the summary bit vector.
+func paramIndexes(n *FuncNode) map[types.Object]int {
+	out := make(map[types.Object]int)
+	idx := 0
+	addField := func(f *ast.Field) {
+		if len(f.Names) == 0 {
+			idx++
+			return
+		}
+		for _, name := range f.Names {
+			if obj := n.Pkg.Info.Defs[name]; obj != nil {
+				out[obj] = idx
+			}
+			idx++
+		}
+	}
+	var ft *ast.FuncType
+	if n.Decl != nil {
+		if n.Decl.Recv != nil && len(n.Decl.Recv.List) > 0 {
+			addField(n.Decl.Recv.List[0])
+		}
+		ft = n.Decl.Type
+	} else {
+		ft = n.Lit.Type
+	}
+	if ft.Params != nil {
+		for _, f := range ft.Params.List {
+			addField(f)
+		}
+	}
+	return out
+}
+
+// solveEnv computes the flow-insensitive provenance of every local
+// variable by iterating the body's bindings to a fixpoint. The lattice
+// has height two (unknown → concrete → conflict), so this terminates.
+func (fp *funcProv) solveEnv(body *ast.BlockStmt) {
+	type binding struct {
+		obj types.Object
+		prv func() provVal
+	}
+	var bindings []binding
+	bind := func(lhs ast.Expr, prv func() provVal) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := fp.info.Defs[id]
+		if obj == nil {
+			obj = fp.info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if _, isParam := fp.params[obj]; isParam {
+			return // parameters keep their identity
+		}
+		bindings = append(bindings, binding{obj, prv})
+	}
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.FuncLit:
+			return false // a literal's bindings belong to its own node
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					rhs := s.Rhs[i]
+					bind(s.Lhs[i], func() provVal { return fp.valueProv(rhs) })
+				}
+			} else if len(s.Rhs) == 1 {
+				// Multi-value call: per-result summary bits.
+				call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for i := range s.Lhs {
+					i := i
+					bind(s.Lhs[i], func() provVal { return fp.callResultProv(call, i) })
+				}
+			}
+		case *ast.RangeStmt:
+			x := s.X
+			if s.Key != nil {
+				bind(s.Key, func() provVal { return provVal{kind: provFresh} })
+			}
+			if s.Value != nil {
+				val := s.Value
+				bind(val, func() provVal {
+					if t := fp.info.TypeOf(val); t != nil && refLike(t) {
+						return derived(fp.prov(x))
+					}
+					return provVal{kind: provFresh}
+				})
+			}
+		}
+		return true
+	})
+	for pass := 0; pass < len(bindings)+2; pass++ {
+		changed := false
+		for _, b := range bindings {
+			next := mergeProv(fp.env[b.obj], b.prv())
+			if next != fp.env[b.obj] {
+				fp.env[b.obj] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// refLike reports whether assigning a value of type t shares the
+// underlying memory (so provenance follows the copy).
+func refLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// valueProv is expression provenance under assignment semantics: copying
+// a non-reference value produces fresh memory, so published-ness does not
+// follow it.
+func (fp *funcProv) valueProv(e ast.Expr) provVal {
+	if t := fp.info.TypeOf(e); t != nil && !refLike(t) {
+		return provVal{kind: provFresh}
+	}
+	return fp.prov(e)
+}
+
+// derived keeps provenance across a selector/index/deref step: memory
+// reached from a published value is published.
+func derived(p provVal) provVal {
+	switch p.kind {
+	case provPublished, provFresh, provParam:
+		return p
+	}
+	return provVal{kind: provUnknown}
+}
+
+// prov resolves the provenance of an lvalue-ish expression.
+func (fp *funcProv) prov(e ast.Expr) provVal {
+	p := fp.rawProv(e)
+	if p.kind == provUnknown && fp.isImmutableTyped(fp.info.TypeOf(e)) {
+		// A value of an immutable-annotated type is shared unless the
+		// analysis proved it fresh or it is a bare parameter.
+		return provVal{kind: provPublished}
+	}
+	return p
+}
+
+func (fp *funcProv) rawProv(e ast.Expr) provVal {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := fp.info.Uses[e]
+		if obj == nil {
+			obj = fp.info.Defs[e]
+		}
+		if obj == nil {
+			return provVal{kind: provFresh} // nil, true, iota, ...
+		}
+		if idx, ok := fp.params[obj]; ok {
+			return provVal{kind: provParam, param: idx}
+		}
+		switch obj.(type) {
+		case *types.Const, *types.Nil:
+			return provVal{kind: provFresh}
+		}
+		if p, ok := fp.env[obj]; ok {
+			return p
+		}
+		return provVal{kind: provUnknown}
+	case *ast.SelectorExpr:
+		// A field read of an immutable-annotated type from a non-fresh
+		// base is shared state even when the base is a parameter: h.f on
+		// a *holder parameter hands out the frozen value itself.
+		base := fp.prov(e.X)
+		d := derived(base)
+		if d.kind != provFresh && d.kind != provPublished {
+			if fp.isImmutableTyped(fp.info.TypeOf(e)) {
+				return provVal{kind: provPublished}
+			}
+		}
+		return d
+	case *ast.IndexExpr:
+		if tv, ok := fp.info.Types[e]; ok && tv.IsType() {
+			return provVal{kind: provUnknown} // generic instantiation
+		}
+		return derived(fp.prov(e.X))
+	case *ast.StarExpr:
+		return derived(fp.prov(e.X))
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return fp.prov(e.X)
+		}
+		return provVal{kind: provFresh}
+	case *ast.TypeAssertExpr:
+		return derived(fp.prov(e.X))
+	case *ast.CompositeLit, *ast.BasicLit, *ast.FuncLit:
+		return provVal{kind: provFresh}
+	case *ast.CallExpr:
+		return fp.callResultProv(e, 0)
+	}
+	return provVal{kind: provUnknown}
+}
+
+// callResultProv is the provenance of result i of a call.
+func (fp *funcProv) callResultProv(call *ast.CallExpr, i int) provVal {
+	if isAtomicLoad(fp.info, call) {
+		return provVal{kind: provPublished}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := fp.info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "new" || b.Name() == "make" {
+				return provVal{kind: provFresh}
+			}
+			return provVal{kind: provUnknown}
+		}
+	}
+	callee := fp.staticCallee(call)
+	if callee == nil || i > 63 {
+		return provVal{kind: provUnknown}
+	}
+	sum := fp.get(callee)
+	switch {
+	case sum.published&(1<<i) != 0:
+		return provVal{kind: provPublished}
+	case sum.fresh&(1<<i) != 0:
+		return provVal{kind: provFresh}
+	}
+	return provVal{kind: provUnknown}
+}
+
+// staticCallee resolves a call to a single in-group node, or nil for
+// dynamic, builtin and out-of-group calls.
+func (fp *funcProv) staticCallee(call *ast.CallExpr) *FuncNode {
+	return fp.an.gp.Graph.StaticCallee(fp.info, call)
+}
+
+// isAtomicLoad recognizes a Load() on any sync/atomic Pointer[T]: a
+// method from package sync/atomic named Load whose result is a pointer to
+// a named type. (Int64.Load returns a scalar and Value.Load returns any,
+// so neither matches.)
+func isAtomicLoad(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || fn.Name() != "Load" {
+		return false
+	}
+	ptr, ok := info.TypeOf(call).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	_, named := ptr.Elem().(*types.Named)
+	return named
+}
+
+func (fp *funcProv) isImmutableTyped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return fp.an.immutable[named.Obj()]
+}
+
+// scanWrites finds every mutation in the body: direct writes through
+// published values are findings; writes through parameters set summary
+// bits; call sites passing published values to mutating callees are
+// findings too.
+func (fp *funcProv) scanWrites(body *ast.BlockStmt, sum *snapSummary, report bool) {
+	gp := fp.an.gp
+	flag := func(pos token.Pos, base ast.Expr, what string) {
+		p := fp.prov(base)
+		switch p.kind {
+		case provPublished:
+			if report {
+				gp.Reportf(pos, "%s %s, which reaches a published snapshot (atomic.Pointer load or //lint:immutable type); clone the snapshot, mutate the clone, then Store it",
+					what, types.ExprString(base))
+			}
+		case provParam:
+			if p.param <= 63 {
+				sum.mutates |= 1 << p.param
+			}
+		}
+	}
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					flag(lhs.Pos(), l.X, "this write mutates")
+				case *ast.IndexExpr:
+					flag(lhs.Pos(), l.X, "this write mutates")
+				case *ast.StarExpr:
+					flag(lhs.Pos(), l.X, "this write mutates")
+				}
+			}
+		case *ast.IncDecStmt:
+			switch l := ast.Unparen(s.X).(type) {
+			case *ast.SelectorExpr:
+				flag(s.Pos(), l.X, "this write mutates")
+			case *ast.IndexExpr:
+				flag(s.Pos(), l.X, "this write mutates")
+			case *ast.StarExpr:
+				flag(s.Pos(), l.X, "this write mutates")
+			}
+		case *ast.CallExpr:
+			fp.scanCall(s, sum, report, flag)
+		}
+		return true
+	})
+}
+
+// scanCall checks one call site: builtins that write their argument, and
+// static callees whose summaries mutate a parameter the caller passes a
+// published value for.
+func (fp *funcProv) scanCall(call *ast.CallExpr, sum *snapSummary, report bool, flag func(token.Pos, ast.Expr, string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := fp.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "delete", "copy", "append":
+				if len(call.Args) > 0 {
+					flag(call.Pos(), call.Args[0], "this "+b.Name()+" writes")
+				}
+			}
+			return
+		}
+	}
+	callee := fp.staticCallee(call)
+	if callee == nil {
+		return
+	}
+	calleeSum := fp.get(callee)
+	if calleeSum.mutates == 0 {
+		return
+	}
+	args := make([]ast.Expr, 0, len(call.Args)+1)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && callee.Decl != nil && callee.Decl.Recv != nil {
+		args = append(args, sel.X)
+	}
+	args = append(args, call.Args...)
+	gp := fp.an.gp
+	for i, arg := range args {
+		if i > 63 || calleeSum.mutates&(1<<i) == 0 {
+			continue
+		}
+		if t := fp.info.TypeOf(arg); t != nil && !refLike(t) {
+			continue // passed by value: the callee mutates a copy
+		}
+		p := fp.prov(arg)
+		switch p.kind {
+		case provPublished:
+			if report {
+				gp.Reportf(call.Pos(), "this call passes %s, which reaches a published snapshot, to %s, which mutates it; clone before Store",
+					types.ExprString(arg), shortFuncName(callee.Name))
+			}
+		case provParam:
+			if p.param <= 63 {
+				sum.mutates |= 1 << p.param
+			}
+		}
+	}
+}
+
+// returnBits fills the summary's result-provenance bits from every return
+// site: published is a may-property, fresh a must-property.
+func (fp *funcProv) returnBits(n *FuncNode, body *ast.BlockStmt, sum *snapSummary) {
+	nresults := 0
+	if sig, ok := fp.info.TypeOf(funcTypeExpr(n)).(*types.Signature); ok {
+		nresults = sig.Results().Len()
+	}
+	if nresults == 0 || nresults > 64 {
+		return
+	}
+	freshAll := uint64(1<<nresults) - 1
+	sawReturn := false
+	ast.Inspect(body, func(nd ast.Node) bool {
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := nd.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		sawReturn = true
+		if len(ret.Results) == 1 && nresults > 1 {
+			// return f(): forward the callee's bits.
+			if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+				if callee := fp.staticCallee(call); callee != nil {
+					cs := fp.get(callee)
+					sum.published |= cs.published
+					freshAll &= cs.fresh
+					return true
+				}
+			}
+			freshAll = 0
+			return true
+		}
+		for i, res := range ret.Results {
+			if i >= nresults {
+				break
+			}
+			switch fp.prov(res).kind {
+			case provPublished:
+				sum.published |= 1 << i
+				freshAll &^= 1 << i
+			case provFresh:
+				// stays fresh
+			default:
+				freshAll &^= 1 << i
+			}
+		}
+		return true
+	})
+	if sawReturn {
+		sum.fresh |= freshAll
+	}
+}
+
+// funcTypeExpr returns the node's type expression for signature lookup.
+func funcTypeExpr(n *FuncNode) ast.Expr {
+	if n.Decl != nil {
+		return n.Decl.Name
+	}
+	return n.Lit
+}

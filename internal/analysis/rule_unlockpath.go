@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 )
 
@@ -45,7 +46,7 @@ func (r UnlockPath) Inspect(p *Pass) {
 				}
 			}
 			sort.Strings(leaked)
-			pos, kind := exitPoint(p, blk, fb.body)
+			pos, kind := exitPoint(p.Info, blk, fb.body)
 			for _, key := range leaked {
 				p.Reportf(pos, "%s acquired at line %d is still held at this %s; release it on every path or defer the unlock",
 					key, p.Fset.Position(fact.held[key].pos).Line, kind)
@@ -64,13 +65,13 @@ func hasSucc(b, target *Block) bool {
 }
 
 // exitPoint names the way blk leaves the function and where to report it.
-func exitPoint(p *Pass, blk *Block, body *ast.BlockStmt) (token.Pos, string) {
+func exitPoint(info *types.Info, blk *Block, body *ast.BlockStmt) (token.Pos, string) {
 	if len(blk.Nodes) > 0 {
 		switch last := blk.Nodes[len(blk.Nodes)-1].(type) {
 		case *ast.ReturnStmt:
 			return last.Pos(), "return"
 		case *ast.ExprStmt:
-			if call, isCall := last.X.(*ast.CallExpr); isCall && isPanicCall(p.Info, call) {
+			if call, isCall := last.X.(*ast.CallExpr); isCall && isPanicCall(info, call) {
 				return last.Pos(), "panic"
 			}
 		}

@@ -25,7 +25,14 @@ import "strings"
 //     ml Fit outputs) to release sinks across the whole group,
 //     lock-contract verifies //lint:holds and //lint:lockorder across
 //     call and package boundaries, and hotpath-alloc budgets
-//     allocations under the //lint:hotpath roots on the Buy path.
+//     allocations under the //lint:hotpath roots on the Buy path;
+//   - the publication-and-lifecycle family everywhere, annotation- and
+//     shape-gated like the concurrency rules: snapshot-immutability
+//     (atomic.Pointer-published and //lint:immutable values are
+//     write-once), resource-lifecycle (//lint:owns results must be
+//     closed, returned or transferred on every exit path),
+//     waitgroup-balance (Add/Done/Wait discipline), and
+//     atomic-plain-mix (no variable both atomic and plain).
 func DefaultRules(modulePath string) []Rule {
 	internal := func(pkg string) string { return modulePath + "/internal/" + pkg }
 	deterministic := []string{
@@ -69,6 +76,10 @@ func DefaultRules(modulePath string) []Rule {
 		},
 		LockContract{},
 		HotPathAlloc{},
+		SnapshotImmutability{},
+		ResourceLifecycle{},
+		WaitGroupBalance{},
+		AtomicPlainMix{},
 	}
 }
 

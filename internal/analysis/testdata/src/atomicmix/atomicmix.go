@@ -1,0 +1,63 @@
+// Package atomicmix is the golden for atomic-plain-mix: counters
+// touched both through sync/atomic package functions and plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	total int64
+	last  int64
+}
+
+// bump is the atomic side of the mix.
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// badRead tears the counter: a plain load ignores the happens-before
+// edge the atomic writers establish.
+func (s *stats) badRead() int64 {
+	return s.hits // want atomic-plain-mix
+}
+
+// badWrite resets it with a plain store.
+func (s *stats) badWrite() {
+	s.hits = 0 // want atomic-plain-mix
+}
+
+// goodRead stays on the atomic side.
+func (s *stats) goodRead() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// total is only ever accessed plainly: consistent, so untracked.
+func (s *stats) addTotal(n int64) {
+	s.total += n
+}
+
+func (s *stats) readTotal() int64 { return s.total }
+
+// badMixedArg smuggles a plain read into the atomic call itself; only
+// the addressed first argument is sanctioned.
+func (s *stats) badMixedArg() {
+	atomic.StoreInt64(&s.last, s.last+1) // want atomic-plain-mix
+}
+
+// ops is a package-level counter with the same discipline.
+var ops int64
+
+func incOps() {
+	atomic.AddInt64(&ops, 1)
+}
+
+func badOps() int64 {
+	return ops // want atomic-plain-mix
+}
+
+// reset documents a single-goroutine phase where the plain store is
+// benign.
+func (s *stats) reset() {
+	//lint:ignore atomic-plain-mix constructor path, no reader goroutine exists yet
+	s.hits = 0
+}

@@ -1,0 +1,35 @@
+// Package app acquires resources from a sibling package; the leak
+// checks depend on lib's directives and summaries crossing the
+// boundary.
+package app
+
+import "nimbus/internal/analysis/testdata/src/resipa/lib"
+
+// Good hands the resource to a keeper whose Adopt summary takes it.
+func Good(k *lib.Keeper, name string) error {
+	r, err := lib.Open(name)
+	if err != nil {
+		return err
+	}
+	k.Adopt(r)
+	return nil
+}
+
+// Discard drops the cross-package owned result.
+func Discard(name string) error {
+	_, err := lib.Open(name) // want resource-lifecycle
+	return err
+}
+
+// Leak closes on the happy path but loses the resource when Ping
+// fails: a borrowed call is not a release.
+func Leak(name string) error {
+	r, err := lib.Open(name)
+	if err != nil {
+		return err
+	}
+	if err := r.Ping(); err != nil {
+		return err // want resource-lifecycle
+	}
+	return r.Close()
+}

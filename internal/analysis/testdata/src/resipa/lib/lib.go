@@ -1,0 +1,46 @@
+// Package lib exports an owning constructor and an adopting sink; the
+// golden proves ownership summaries survive the package boundary.
+package lib
+
+import "errors"
+
+// Res is a closeable resource.
+type Res struct{ open bool }
+
+func (r *Res) Close() error { r.open = false; return nil }
+
+// Ping borrows the resource.
+func (r *Res) Ping() error {
+	if !r.open {
+		return errors.New("closed")
+	}
+	return nil
+}
+
+// Open hands the resource to the caller.
+//
+//lint:owns the caller must close the resource
+func Open(name string) (*Res, error) {
+	if name == "" {
+		return nil, errors.New("no name")
+	}
+	return &Res{open: true}, nil
+}
+
+// Keeper stores resources and closes them in bulk; Adopt takes
+// ownership through its computed summary (it stores the parameter),
+// with no annotation needed.
+type Keeper struct{ held []*Res }
+
+func (k *Keeper) Adopt(r *Res) {
+	k.held = append(k.held, r)
+}
+
+// Close releases everything the keeper holds.
+func (k *Keeper) Close() error {
+	for _, r := range k.held {
+		r.Close()
+	}
+	k.held = nil
+	return nil
+}

@@ -1,0 +1,170 @@
+// Package resource is the single-package golden for resource-lifecycle:
+// an owning constructor, leaks on second-error returns and panics,
+// and every blessed release shape — Close, defer, field store, return,
+// goroutine handoff, and the closeOnErr closure pattern.
+package resource
+
+import "errors"
+
+type conn struct{ fd int }
+
+func (c *conn) Close() error { return nil }
+
+// dial hands its connection to the caller.
+//
+//lint:owns the caller must close the connection
+func dial(addr string) (*conn, error) {
+	if addr == "" {
+		return nil, errors.New("empty addr")
+	}
+	return &conn{fd: 3}, nil
+}
+
+// ping borrows the connection: it neither stores nor closes it.
+func ping(c *conn) error {
+	if c.fd == 0 {
+		return errors.New("closed")
+	}
+	return nil
+}
+
+// leakOnError closes on success but leaks when the second call fails:
+// the error excuse only covers the acquisition's own error.
+func leakOnError(addr string) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err // c is nil here: excused
+	}
+	if err := ping(c); err != nil {
+		return err // want resource-lifecycle
+	}
+	return c.Close()
+}
+
+// discard drops the owned result on the floor.
+func discard(addr string) {
+	dial(addr) // want resource-lifecycle
+}
+
+// discardBlank hides the drop behind a blank identifier.
+func discardBlank(addr string) {
+	_, _ = dial(addr) // want resource-lifecycle
+}
+
+// leakOnPanic releases on the happy path but panics past the Close.
+func leakOnPanic(addr string) {
+	c, err := dial(addr)
+	if err != nil {
+		panic(err) // the acquisition failed: excused
+	}
+	if c.fd < 0 {
+		panic("bad fd") // want resource-lifecycle
+	}
+	c.Close()
+}
+
+// deferClose is the canonical clean shape; the defer survives both the
+// early error return and any panic in ping.
+func deferClose(addr string) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := ping(c); err != nil {
+		return err
+	}
+	return nil
+}
+
+type pool struct{ c *conn }
+
+// adopt transfers ownership into a field; the pool closes it later.
+func (p *pool) adopt(addr string) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	p.c = c
+	return nil
+}
+
+// serve hands the connection to a goroutine that closes it.
+func serve(addr string) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		ping(c)
+		c.Close()
+	}()
+	return nil
+}
+
+// mustDial returns what it acquires, so its computed summary owns the
+// result — callers inherit the obligation without any annotation.
+func mustDial(addr string) *conn {
+	c, err := dial(addr)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// leakFromWrapper leaks a connection acquired through the unannotated
+// wrapper; the finding lands on the fall-off-the-end exit.
+func leakFromWrapper(addr string) {
+	c := mustDial(addr)
+	ping(c)
+} // want resource-lifecycle
+
+// openBoth is the closeOnErr pattern: the fail closure releases the
+// first connection when the second acquisition fails.
+func openBoth(a1, a2 string) (*conn, *conn, error) {
+	c1, err := dial(a1)
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(e error) (*conn, *conn, error) {
+		c1.Close()
+		return nil, nil, e
+	}
+	c2, err := dial(a2)
+	if err != nil {
+		return fail(err)
+	}
+	return c1, c2, nil
+}
+
+// nilGuard releases behind the classic `if c != nil` shape: on the nil
+// arm there is nothing to close, so both arms are clean.
+func nilGuard(addr string, want bool) error {
+	var c *conn
+	var err error
+	if want {
+		c, err = dial(addr)
+		if err != nil {
+			return err
+		}
+	}
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// suppressed documents a process-lifetime connection.
+func suppressed(addr string) {
+	c := mustDial(addr)
+	ping(c)
+	//lint:ignore resource-lifecycle process-lifetime connection, the OS reclaims it at exit
+}
+
+//lint:owns
+func badDirective(addr string) (*conn, error) { // want resource-lifecycle
+	return dial(addr)
+}
+
+//lint:owns nothing closeable comes back from here
+func badOwner() int { return 0 } // want resource-lifecycle

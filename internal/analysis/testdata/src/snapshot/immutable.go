@@ -1,0 +1,60 @@
+package snapshot
+
+// frozen is shared by reference between goroutines once constructed; the
+// annotation makes every non-fresh value of the type published.
+//
+//lint:immutable shared read-only after construction; rebuild instead of editing
+type frozen struct {
+	n     int
+	items []int
+}
+
+type holder struct {
+	f *frozen
+}
+
+// badField writes a frozen value read out of a struct field.
+func (h *holder) badField() {
+	h.f.n = 1 // want snapshot-immutability
+}
+
+// badSlice writes through a frozen value's slice.
+func (h *holder) badSlice() {
+	h.f.items[0] = 2 // want snapshot-immutability
+}
+
+// goodBuild constructs a fresh frozen and mutates it before sharing.
+func (h *holder) goodBuild() {
+	f := &frozen{items: make([]int, 4)}
+	f.n = 7
+	f.items[0] = 1
+	h.f = f
+}
+
+// goodCopy mutates a value copy, never the shared original.
+func (h *holder) goodCopy() int {
+	c := *h.f
+	c.n++
+	return c.n
+}
+
+// setN mutates its parameter; direct parameters stay analyzable so the
+// call-site check below can blame the caller.
+func setN(f *frozen, n int) {
+	f.n = n
+}
+
+// badSet passes shared frozen memory to a mutating callee.
+func (h *holder) badSet() {
+	setN(h.f, 3) // want snapshot-immutability
+}
+
+// goodSet passes a fresh frozen to the same callee.
+func goodSet() *frozen {
+	f := &frozen{}
+	setN(f, 3)
+	return f
+}
+
+//lint:immutable
+type bare struct{ n int } // want snapshot-immutability

@@ -1,0 +1,113 @@
+// Package snapshot is golden input for the snapshot-immutability rule:
+// clone-and-swap discipline around an atomic.Pointer-published config.
+package snapshot
+
+import "sync/atomic"
+
+type conf struct {
+	limit int
+	tags  map[string]string
+}
+
+type box struct {
+	cur atomic.Pointer[conf]
+}
+
+// bad writes a field of the loaded snapshot directly.
+func (b *box) bad() {
+	c := b.cur.Load()
+	c.limit = 3 // want snapshot-immutability
+}
+
+// badMap writes into a map reached from the loaded snapshot.
+func (b *box) badMap() {
+	b.cur.Load().tags["a"] = "b" // want snapshot-immutability
+}
+
+// badDelete deletes from a published map.
+func (b *box) badDelete() {
+	delete(b.cur.Load().tags, "a") // want snapshot-immutability
+}
+
+// badInc increments through the published pointer.
+func (b *box) badInc() {
+	b.cur.Load().limit++ // want snapshot-immutability
+}
+
+// good is the sanctioned pattern: clone, mutate the clone, Store.
+func (b *box) good() {
+	cur := b.cur.Load()
+	next := &conf{limit: cur.limit, tags: make(map[string]string, len(cur.tags))}
+	for k, v := range cur.tags {
+		next.tags[k] = v
+	}
+	next.limit++
+	b.cur.Store(next)
+}
+
+// bump mutates its parameter; callers with published arguments are the
+// ones at fault.
+func bump(c *conf) {
+	c.limit++
+}
+
+// badCall hands the loaded snapshot to a mutating callee.
+func (b *box) badCall() {
+	bump(b.cur.Load()) // want snapshot-immutability
+}
+
+// goodCall mutates a clone through the same callee.
+func (b *box) goodCall() {
+	next := b.clone()
+	bump(next)
+	b.cur.Store(next)
+}
+
+// clone builds a fresh deep copy: the value copy and the fresh map keep
+// every write below from touching the published snapshot.
+func (b *box) clone() *conf {
+	cur := b.cur.Load()
+	c := *cur
+	c.tags = make(map[string]string, len(cur.tags))
+	for k, v := range cur.tags {
+		c.tags[k] = v
+	}
+	return &c
+}
+
+// snap returns the loaded pointer, so its callers hold published memory —
+// the summary carries provenance across the call.
+func (b *box) snap() *conf {
+	return b.cur.Load()
+}
+
+// badVia mutates through a helper's published return value.
+func (b *box) badVia() {
+	b.snap().tags["x"] = "y" // want snapshot-immutability
+}
+
+// badTwoDeep mutates through two frames of helpers.
+func (b *box) badTwoDeep() {
+	poke(b.snap()) // want snapshot-immutability
+}
+
+func poke(c *conf) {
+	bump(c)
+}
+
+// reads never fire: loading and reading the snapshot is the whole point.
+func (b *box) reads() int {
+	c := b.cur.Load()
+	n := c.limit
+	for range c.tags {
+		n++
+	}
+	return n
+}
+
+// suppressed documents a justified exception.
+func (b *box) suppressed() {
+	c := b.cur.Load()
+	//lint:ignore snapshot-immutability single-threaded bootstrap; the box is not shared yet
+	c.limit = 1
+}

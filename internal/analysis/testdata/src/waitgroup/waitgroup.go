@@ -1,0 +1,107 @@
+// Package waitgroup is the golden for waitgroup-balance: unbalanced
+// Adds, Wait-under-lock deadlocks, Add racing Wait from inside the
+// launched goroutine, and every crediting shape that must stay quiet.
+package waitgroup
+
+import "sync"
+
+func work() {}
+
+// addNoDone launches a worker that never calls Done; Wait blocks
+// forever.
+func addNoDone() {
+	var wg sync.WaitGroup
+	wg.Add(1) // want waitgroup-balance
+	go work()
+	wg.Wait()
+}
+
+// addDoneLiteral is the canonical fan-out: the literal carries the
+// deferred Done.
+func addDoneLiteral(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// inlineDone is a same-goroutine protocol.
+func inlineDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Wait()
+}
+
+// complete balances a group handed over by its caller.
+func complete(wg *sync.WaitGroup) {
+	wg.Done()
+}
+
+// handoff passes the group to a helper; the Done is the helper's
+// contract.
+func handoff() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go complete(&wg)
+	wg.Wait()
+}
+
+type svc struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	n  int
+}
+
+// start credits its Add through the launched method's deferred Done.
+func (s *svc) start() {
+	s.wg.Add(1)
+	go s.run()
+}
+
+func (s *svc) run() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// stop waits while holding the mutex the worker needs before it can
+// call Done: a deadlock when run is still queued on mu.
+func (s *svc) stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want waitgroup-balance
+}
+
+// stopClean releases the lock before waiting.
+func (s *svc) stopClean() {
+	s.mu.Lock()
+	s.n = 0
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// addInside increments the counter from inside the goroutine it
+// accounts for: the enclosing Wait can return before the Add runs.
+func addInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want waitgroup-balance
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// suppressed documents an Add whose Done lives across a package
+// boundary the rule cannot see.
+func suppressed(wg *sync.WaitGroup) {
+	//lint:ignore waitgroup-balance the collector calls Done when the batch drains
+	wg.Add(1)
+}

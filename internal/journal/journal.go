@@ -223,6 +223,8 @@ func (j *Journal) initTelemetry(reg *telemetry.Registry) {
 // appending. Damage that cannot be attributed to a torn tail returns
 // ErrCorrupt. After Open, read the recovered state via Snapshot and
 // Replay, then Append away.
+//
+//lint:owns the journal holds an open segment file (and under SyncInterval a flusher goroutine); the caller must Close it on every path
 func Open(dir string, opts Options) (*Journal, error) {
 	if opts.FS == nil {
 		opts.FS = OSFS{}

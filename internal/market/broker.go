@@ -120,6 +120,11 @@ func (bt *commitBatch) result(idx int) error {
 // is never mutated; writers build a fresh one and swap the pointer, so
 // Menu/Offering/saleTerms never block on a lock and never observe a
 // partial update.
+// The snapshot is immutable once Stored: writers clone it (cloneMenu),
+// mutate the clone, and republish, so readers on the Buy path never see
+// a half-updated menu.
+//
+//lint:immutable published via b.menu (atomic.Pointer); clone-mutate-Store only
 type menuSnapshot struct {
 	offerings  map[string]*Offering
 	names      []string // sorted menu, precomputed at publish time
@@ -198,11 +203,17 @@ func (b *Broker) SetTelemetry(reg *telemetry.Registry) {
 	}
 	// Existing listings get their per-offering sale counter attached now;
 	// later listings get theirs in List. Caching the handle on the
-	// offering keeps registry lookups off the sale path.
-	for _, o := range b.menu.Load().offerings {
+	// offering keeps registry lookups off the sale path. The offerings in
+	// the published snapshot are read concurrently by the Buy path, so
+	// each gets the counter on a clone and the whole menu is republished.
+	next := b.cloneMenu()
+	for name, o := range next.offerings {
+		oc := *o
 		//lint:ignore telemetry-label-literal offering names come from the seller-curated menu, not from buyer requests, so the series set is bounded by listings
-		o.sales = reg.Counter("nimbus_purchases_total", "offering", o.Name)
+		oc.sales = reg.Counter("nimbus_purchases_total", "offering", o.Name)
+		next.offerings[name] = &oc
 	}
+	b.menu.Store(next)
 }
 
 // recordReject classifies a failed purchase for telemetry. It keeps label

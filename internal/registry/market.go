@@ -70,6 +70,8 @@ type Market struct {
 }
 
 // newMarket wires the lifecycle plumbing around a freshly built broker.
+//
+//lint:transfers the Market owns the journal from here; Market.close is the release path
 func newMarket(spec Spec, b *market.Broker, jnl *journal.Journal, reg *telemetry.Registry) *Market {
 	m := &Market{ID: spec.ID, Spec: spec, Broker: b, jnl: jnl, state: stateOpen}
 	m.cond = sync.NewCond(&m.mu)

@@ -95,6 +95,13 @@ func Open(cfg Config) (*Registry, error) {
 			return nil, fmt.Errorf("registry: creating root %s: %w", cfg.Root, err)
 		}
 		if err := r.recoverTenants(); err != nil {
+			// Tenants recovered before the failure are already published
+			// with open journals (and, under SyncInterval, live flusher
+			// goroutines). The caller gets no Registry back, so nothing
+			// downstream can release them — close them here.
+			if cerr := r.Close(); cerr != nil {
+				r.logf("registry: cleanup after failed recovery: %v", cerr)
+			}
 			return nil, err
 		}
 	}

@@ -6,9 +6,11 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"nimbus/internal/journal"
 	"nimbus/internal/market"
@@ -465,5 +467,49 @@ func TestDelistArchivesTenantDir(t *testing.T) {
 	defer r2.Close()
 	if got := r2.Count(); got != 0 {
 		t.Fatalf("recovered %d markets from an archive-only root", got)
+	}
+}
+
+func TestFailedRecoveryClosesRecoveredTenants(t *testing.T) {
+	root := t.TempDir()
+	// SyncInterval gives every open journal a flusher goroutine, so a
+	// leaked journal is observable as a goroutine that never exits.
+	cfg := Config{Root: root, Commission: 0.1, Sync: journal.SyncInterval, SyncEvery: time.Hour, Logf: t.Logf}
+	r, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two tenants; ReadDir recovers in name order, so "aaa" is recovered
+	// and published before "zzz" fails.
+	for _, id := range []string{"aaa", "zzz"} {
+		if _, err := r.List(cheapSpec(id, 1), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "zzz", "manifest.json"), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base := runtime.NumGoroutine()
+	r2, err := Open(cfg)
+	if err == nil {
+		r2.Close()
+		t.Fatal("Open succeeded despite a corrupt tenant manifest")
+	}
+	if !strings.Contains(err.Error(), "zzz") {
+		t.Fatalf("error does not name the failing tenant: %v", err)
+	}
+	// The recovered tenant's journal must have been closed on the error
+	// path: its flusher goroutine exits, returning the count to baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d at Open, %d now — recovered tenant's journal flusher leaked",
+				base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
